@@ -1,0 +1,126 @@
+"""Figure 8: throughput of the WAL stage and the MemTable stage in isolation,
+single-instance vs multi-instance, as user threads grow.
+
+Paper findings: the logging stage benefits from group batching in the
+single-instance case but multi-instance logging peaks at a low thread count
+(the SSD's limited IO parallelism); the indexing stage scales far better
+multi-instance (10.5x at 32 threads) than single-instance (3.7x), because
+the shared concurrent skiplist synchronization saturates.
+"""
+
+from benchmarks.common import assert_shapes, lsm_options, once, report
+from repro.engine import make_env
+from repro.harness import (
+    MultiInstanceSystem,
+    SingleInstanceSystem,
+    open_system,
+    run_closed_loop,
+)
+from repro.harness.report import ShapeCheck, format_qps, format_table
+from repro.workloads import fillrandom, split_stream
+
+THREADS = [1, 4, 8, 16, 32]
+TOTAL_OPS = 16000
+
+
+def run_case(stage: str, mode: str, n_threads: int) -> float:
+    """stage: 'wal' | 'memtable'; mode: 'single' | 'multi'."""
+    overrides = (
+        dict(enable_memtable=False)
+        if stage == "wal"
+        else dict(enable_wal=False, disable_flush=True)
+    )
+    env = make_env(n_cores=44)
+    if mode == "single":
+        system = open_system(
+            env, SingleInstanceSystem.open(env, lsm_options(**overrides))
+        )
+    else:
+        system = open_system(
+            env,
+            MultiInstanceSystem.open(
+                env, n_threads, lambda: lsm_options(**overrides)
+            ),
+        )
+    streams = split_stream(fillrandom(TOTAL_OPS), n_threads)
+    return run_closed_loop(env, system, streams).qps
+
+
+def run_fig08():
+    out = {}
+    for stage in ("wal", "memtable"):
+        for mode in ("single", "multi"):
+            for n in THREADS:
+                out[(stage, mode, n)] = run_case(stage, mode, n)
+    return out
+
+
+def test_fig08_wal_and_memtable_scaling(benchmark):
+    out = once(benchmark, run_fig08)
+    rows = []
+    for n in THREADS:
+        rows.append(
+            [
+                n,
+                format_qps(out[("wal", "single", n)]),
+                format_qps(out[("wal", "multi", n)]),
+                format_qps(out[("memtable", "single", n)]),
+                format_qps(out[("memtable", "multi", n)]),
+            ]
+        )
+    report(
+        "fig08",
+        "Figure 8: isolated WAL and MemTable stage throughput\n"
+        + format_table(
+            [
+                "threads",
+                "WAL single",
+                "WAL multi",
+                "MemTable single",
+                "MemTable multi",
+            ],
+            rows,
+        ),
+    )
+    wal_single_gain = out[("wal", "single", 32)] / out[("wal", "single", 1)]
+    wal_multi_peak = max(out[("wal", "multi", n)] for n in THREADS)
+    wal_multi_gain = wal_multi_peak / out[("wal", "single", 1)]
+    mem_single_gain = out[("memtable", "single", 32)] / out[("memtable", "single", 1)]
+    mem_multi_gain = out[("memtable", "multi", 32)] / out[("memtable", "multi", 1)]
+    assert_shapes(
+        "fig08",
+        [
+            ShapeCheck(
+                "WAL single-instance gains from batching",
+                "~2x at 32thr",
+                wal_single_gain,
+                1.3,
+                6.0,
+            ),
+            ShapeCheck(
+                "WAL multi-instance peak beats single baseline",
+                ">2.5x",
+                wal_multi_gain,
+                1.8,
+            ),
+            ShapeCheck(
+                "MemTable multi-instance scales strongly",
+                "10.5x at 32thr",
+                mem_multi_gain,
+                6.0,
+            ),
+            ShapeCheck(
+                "MemTable single-instance scales weakly",
+                "3.7x at 32thr",
+                mem_single_gain,
+                1.5,
+                7.0,
+            ),
+            ShapeCheck(
+                "multi beats single on MemTable stage",
+                "10.5x vs 3.7x",
+                mem_multi_gain / mem_single_gain,
+                1.5,
+            ),
+        ],
+    )

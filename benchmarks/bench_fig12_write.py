@@ -1,0 +1,137 @@
+"""Figure 12: random-write throughput, IO amplification and bandwidth
+utilization — RocksDB vs PebblesDB vs p2KVS-4 vs p2KVS-8.
+
+Paper: p2KVS-4 and p2KVS-8 beat RocksDB by 2.7x and 4.6x; p2KVS-8 has the
+lowest IO amplification (wider, shallower tree across instances); p2KVS
+drives the SSD far harder than RocksDB/PebblesDB (<20% utilization).
+The micro-benchmark uses 16 user threads with p2KVS's async interface.
+"""
+
+from benchmarks.common import (
+    LARGE,
+    assert_shapes,
+    lsm_adapter,
+    lsm_options,
+    once,
+    report,
+)
+from repro.engine import make_env, pebblesdb_options
+from repro.harness import (
+    P2KVSSystem,
+    SingleInstanceSystem,
+    open_system,
+    run_closed_loop,
+)
+from repro.harness.report import ShapeCheck, format_qps, format_table
+from repro.workloads import fillrandom, split_stream
+
+N_THREADS = 16
+N_OPS = LARGE
+
+
+def run_system(kind: str):
+    env = make_env(n_cores=44)
+    if kind == "rocksdb":
+        system = open_system(env, SingleInstanceSystem.open(env, lsm_options()))
+    elif kind == "pebblesdb":
+        system = open_system(
+            env,
+            SingleInstanceSystem.open(
+                env, lsm_options(pebblesdb_options), name="pebbles"
+            ),
+        )
+    else:  # p2kvs-N
+        n_workers = int(kind.split("-")[1])
+        system = open_system(
+            env,
+            P2KVSSystem.open(
+                env,
+                n_workers=n_workers,
+                adapter_open=lsm_adapter("rocksdb"),
+                async_window=512,
+            ),
+        )
+    streams = split_stream(fillrandom(N_OPS), N_THREADS)
+    return run_closed_loop(env, system, streams)
+
+
+def run_fig12():
+    return {
+        kind: run_system(kind)
+        for kind in ("rocksdb", "pebblesdb", "p2kvs-4", "p2kvs-8")
+    }
+
+
+def test_fig12_random_write(benchmark):
+    out = once(benchmark, run_fig12)
+    rows = [
+        [
+            kind,
+            format_qps(m.qps),
+            "%.2f" % m.io_amplification,
+            "%.1f%%" % (100 * m.bandwidth_utilization),
+        ]
+        for kind, m in out.items()
+    ]
+    report(
+        "fig12",
+        "Figure 12: 16-thread random writes (128-byte KVs)\n"
+        + format_table(
+            ["system", "throughput", "IO amplification", "SSD bandwidth utilization"],
+            rows,
+        ),
+    )
+    rocks = out["rocksdb"]
+    assert_shapes(
+        "fig12",
+        [
+            ShapeCheck(
+                "p2KVS-4 write speedup over RocksDB",
+                "2.7x",
+                out["p2kvs-4"].qps / rocks.qps,
+                1.8,
+                5.0,
+            ),
+            ShapeCheck(
+                "p2KVS-8 write speedup over RocksDB",
+                "4.6x",
+                out["p2kvs-8"].qps / rocks.qps,
+                3.0,
+                9.0,
+            ),
+            ShapeCheck(
+                "p2KVS-8 has the lowest IO amplification",
+                "lowest",
+                float(
+                    out["p2kvs-8"].io_amplification
+                    < min(
+                        rocks.io_amplification,
+                        out["pebblesdb"].io_amplification,
+                        out["p2kvs-4"].io_amplification,
+                    )
+                ),
+                1.0,
+                1.0,
+            ),
+            ShapeCheck(
+                "PebblesDB IO amp below RocksDB",
+                "lower",
+                rocks.io_amplification / out["pebblesdb"].io_amplification,
+                1.0,
+            ),
+            ShapeCheck(
+                "p2KVS-8 uses more SSD bandwidth than RocksDB",
+                "full vs <20%",
+                out["p2kvs-8"].bandwidth_utilization
+                / max(rocks.bandwidth_utilization, 1e-9),
+                1.2,
+            ),
+            ShapeCheck(
+                "PebblesDB is not write-concurrency optimized",
+                "< RocksDB",
+                out["pebblesdb"].qps / rocks.qps,
+                0.1,
+                1.2,
+            ),
+        ],
+    )

@@ -1,0 +1,112 @@
+"""Figure 14: point-query throughput and the impact of OBM.
+
+Paper: without OBM, p2KVS performs about like RocksDB (Fig 14a); enabling
+OBM lets the workers batch GETs into multiget and p2KVS scales almost
+linearly with offered threads, up to 7.5x over the OBM-disabled case and
+5.4x over RocksDB (Fig 14b).
+"""
+
+from benchmarks.common import (
+    READ_KEYS,
+    assert_shapes,
+    lsm_adapter,
+    lsm_options,
+    once,
+    report,
+)
+from repro.engine import make_env
+from repro.harness import (
+    P2KVSSystem,
+    SingleInstanceSystem,
+    open_system,
+    preload,
+    run_closed_loop,
+)
+from repro.harness.report import ShapeCheck, format_qps, format_table
+from repro.workloads import fillrandom, readrandom, split_stream
+
+THREADS = [8, 16, 32, 64]
+N_READS = 16000
+
+
+def run_case(kind: str, n_threads: int) -> float:
+    env = make_env(n_cores=44)
+    if kind == "rocksdb":
+        system = open_system(env, SingleInstanceSystem.open(env, lsm_options()))
+    else:
+        obm = kind == "p2kvs-obm"
+        system = open_system(
+            env,
+            P2KVSSystem.open(
+                env, n_workers=8, adapter_open=lsm_adapter("rocksdb"), obm=obm
+            ),
+        )
+    preload(env, system, fillrandom(READ_KEYS), n_threads=8)
+    metrics = run_closed_loop(
+        env, system, split_stream(readrandom(N_READS, READ_KEYS), n_threads)
+    )
+    return metrics.qps
+
+
+def run_fig14():
+    out = {}
+    for kind in ("rocksdb", "p2kvs-noobm", "p2kvs-obm"):
+        for n in THREADS:
+            out[(kind, n)] = run_case(kind, n)
+    return out
+
+
+def test_fig14_point_query(benchmark):
+    out = once(benchmark, run_fig14)
+    rows = [
+        [
+            n,
+            format_qps(out[("rocksdb", n)]),
+            format_qps(out[("p2kvs-noobm", n)]),
+            format_qps(out[("p2kvs-obm", n)]),
+        ]
+        for n in THREADS
+    ]
+    report(
+        "fig14",
+        "Figure 14: random GET throughput (10M-scaled reads over loaded data)\n"
+        + format_table(
+            ["threads", "RocksDB", "p2KVS-8 (no OBM)", "p2KVS-8 (OBM)"], rows
+        ),
+    )
+    top = THREADS[-1]
+    obm_gain = out[("p2kvs-obm", top)] / out[("p2kvs-noobm", top)]
+    vs_rocks = out[("p2kvs-obm", top)] / out[("rocksdb", top)]
+    noobm_vs_rocks = out[("p2kvs-noobm", 8)] / out[("rocksdb", 8)]
+    rocks_scaling = out[("rocksdb", top)] / out[("rocksdb", 8)]
+    assert_shapes(
+        "fig14",
+        [
+            ShapeCheck(
+                "without OBM p2KVS is in RocksDB's ballpark",
+                "~1x",
+                noobm_vs_rocks,
+                0.4,
+                3.0,
+            ),
+            ShapeCheck(
+                "OBM beats the disabled case at high threads",
+                "up to 7.5x",
+                obm_gain,
+                1.3,
+            ),
+            ShapeCheck(
+                "p2KVS-8 with OBM beats RocksDB at high threads",
+                "up to 5.4x",
+                vs_rocks,
+                1.8,
+            ),
+            ShapeCheck(
+                "RocksDB GET throughput flattens with threads",
+                "flat",
+                rocks_scaling,
+                0.5,
+                2.5,
+            ),
+        ],
+    )

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The future-work extensions in action (paper Sections 4.2 and 4.5).
+
+Part 1 — read-committed isolation: a transfer between two accounts on
+different instances is invisible to concurrent readers until it commits
+(no dirty reads), then becomes visible atomically.
+
+Part 2 — runtime scaling: grow a live 3-worker deployment to 4 workers;
+the key space is resharded online and every key stays readable.
+
+Run:  python examples/transactions_and_scaling.py
+"""
+
+from repro import P2KVS, WriteBatch, make_env
+
+
+def main():
+    env = make_env(n_cores=8)
+    box = []
+
+    def setup():
+        kvs = yield from P2KVS.open(env, n_workers=3)
+        ctx = env.cpu.new_thread("setup")
+        yield from kvs.put(ctx, b"account:alice", b"100")
+        yield from kvs.put(ctx, b"account:bob", b"100")
+        box.append(kvs)
+
+    env.sim.spawn(setup())
+    env.sim.run()
+    kvs = box[0]
+
+    # ---- Part 1: read-committed transfer ----
+    observations = []
+
+    def transfer():
+        ctx = env.cpu.new_thread("txn")
+        batch = WriteBatch()
+        batch.put(b"account:alice", b"50")
+        batch.put(b"account:bob", b"150")
+        yield from kvs.write_batch(ctx, batch, isolation="read_committed")
+
+    def auditor():
+        ctx = env.cpu.new_thread("auditor")
+        for _ in range(25):
+            alice = yield from kvs.get(ctx, b"account:alice")
+            bob = yield from kvs.get(ctx, b"account:bob")
+            observations.append((alice, bob))
+            yield env.sim.timeout(1e-6)
+
+    env.sim.spawn(transfer())
+    env.sim.spawn(auditor())
+    env.sim.run()
+
+    total_ok = all(
+        int(alice) + int(bob) == 200 for alice, bob in observations
+    )
+    states = {obs for obs in observations}
+    print("Part 1 — read-committed transfer")
+    print("  distinct states the auditor saw:", sorted(states))
+    print("  invariant alice+bob == 200 held on every read:", total_ok)
+    assert total_ok, "dirty read: the auditor saw a half-applied transfer"
+
+    # ---- Part 2: runtime scaling ----
+    print("\nPart 2 — scale from 3 to 4 workers, live")
+
+    def grow_and_verify():
+        ctx = env.cpu.new_thread("admin")
+        for i in range(200):
+            yield from kvs.put(ctx, b"item:%06d" % i, b"v%d" % i)
+        moved = yield from kvs.add_worker(ctx)
+        print("  workers now:", len(kvs.workers), " keys migrated:", moved)
+        bad = 0
+        for i in range(200):
+            got = yield from kvs.get(ctx, b"item:%06d" % i)
+            if got != b"v%d" % i:
+                bad += 1
+        print("  keys verified after resharding: 200, mismatches:", bad)
+        assert bad == 0
+        loads = [w.counters.get("requests") for w in kvs.workers]
+        print("  per-worker request counts:", loads)
+
+    env.sim.spawn(grow_and_verify())
+    env.sim.run()
+    print("\nBoth extensions behave as Section 4.2/4.5 describe.")
+
+
+if __name__ == "__main__":
+    main()

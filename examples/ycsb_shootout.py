@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""YCSB shoot-out: RocksDB vs PebblesDB vs KVell vs p2KVS-8.
+
+Loads a dataset and runs YCSB A, B and C (Table 1 mixes) through all four
+systems on identical simulated hardware — the paper's Figures 16 and 20 in
+miniature.
+
+Run:  python examples/ycsb_shootout.py
+"""
+
+from repro.engine import make_env, pebblesdb_options, rocksdb_options
+from repro.core import adapter_factory
+from repro.harness import (
+    KVellSystem,
+    P2KVSSystem,
+    SingleInstanceSystem,
+    open_system,
+    preload,
+    run_closed_loop,
+)
+from repro.harness.report import format_qps, format_table
+from repro.workloads import YCSBWorkload
+
+RECORDS = 8000
+OPS = 5000
+N_THREADS = 16
+
+SHAPE = dict(
+    write_buffer_size=64 * 1024,
+    target_file_size=64 * 1024,
+    max_bytes_for_level_base=256 * 1024,
+)
+
+
+def build(env, kind):
+    if kind == "RocksDB":
+        return open_system(
+            env, SingleInstanceSystem.open(env, rocksdb_options(**SHAPE))
+        )
+    if kind == "PebblesDB":
+        return open_system(
+            env,
+            SingleInstanceSystem.open(
+                env, pebblesdb_options(**SHAPE), name="pebbles"
+            ),
+        )
+    if kind == "KVell-8":
+        return open_system(env, KVellSystem.open(env, n_workers=8))
+    return open_system(
+        env,
+        P2KVSSystem.open(
+            env, n_workers=8, adapter_open=adapter_factory("rocksdb", **SHAPE)
+        ),
+    )
+
+
+def run(kind, workload_name):
+    env = make_env(n_cores=44)
+    system = build(env, kind)
+    workload = YCSBWorkload(workload_name, RECORDS, seed=21)
+    preload(env, system, workload.load_ops(), n_threads=8)
+    ops = list(workload.ops(OPS))
+    streams = [[] for _ in range(N_THREADS)]
+    for i, op in enumerate(ops):
+        streams[i % N_THREADS].append(op)
+    return run_closed_loop(env, system, streams).qps
+
+
+def main():
+    systems = ["RocksDB", "PebblesDB", "KVell-8", "p2KVS-8"]
+    workloads = ["A", "B", "C"]
+    rows = []
+    for kind in systems:
+        rows.append(
+            [kind] + [format_qps(run(kind, w)) for w in workloads]
+        )
+    print("YCSB on identical simulated hardware (%d threads):" % N_THREADS)
+    print(format_table(["system"] + ["YCSB-%s" % w for w in workloads], rows))
+
+
+if __name__ == "__main__":
+    main()

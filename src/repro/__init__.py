@@ -1,0 +1,51 @@
+"""p2KVS reproduction: a portable 2-dimensional parallelizing framework for
+key-value stores, rebuilt on a discrete-event simulated multicore/SSD machine.
+
+Quick start::
+
+    from repro import P2KVS, make_env
+
+    env = make_env(n_cores=16)
+
+    def main():
+        kvs = yield from P2KVS.open(env, n_workers=8)
+        ctx = env.cpu.new_thread("app")
+        yield from kvs.put(ctx, b"hello", b"world")
+        print((yield from kvs.get(ctx, b"hello")))
+
+    env.sim.spawn(main())
+    env.sim.run()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.baselines import KVellLike, WiredTigerLike, wiredtiger_adapter_factory
+from repro.core import P2KVS, HashRouter, RangeRouter, adapter_factory
+from repro.engine import (
+    LSMEngine,
+    WriteBatch,
+    leveldb_options,
+    make_env,
+    pebblesdb_options,
+    rocksdb_options,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HashRouter",
+    "KVellLike",
+    "LSMEngine",
+    "P2KVS",
+    "RangeRouter",
+    "WiredTigerLike",
+    "WriteBatch",
+    "adapter_factory",
+    "leveldb_options",
+    "make_env",
+    "pebblesdb_options",
+    "rocksdb_options",
+    "wiredtiger_adapter_factory",
+    "__version__",
+]

@@ -1,0 +1,364 @@
+"""The p2KVS framework: accessing layer + workers + KVS instances.
+
+This is the paper's contribution (Figure 9a).  Horizontally, the key space is
+hash-partitioned over N worker-owned KVS instances, each pinned to its own
+core with private WAL/MemTable/LSM-tree.  Vertically, an accessing layer
+separates user threads from workers: user threads enqueue requests and
+suspend; workers batch opportunistically (OBM) and execute.
+
+Public operations are generator processes, like the engine's::
+
+    kvs = yield from P2KVS.open(env, n_workers=8)
+    yield from kvs.put(ctx, b"k", b"v")
+    value = yield from kvs.get(ctx, b"k")
+
+The standard KV interface (PUT/GET/DELETE/SCAN/RANGE) is transparent to the
+application — no column-family-style semantics needed.  An asynchronous
+write interface (``put_async``) mirrors the paper's ``Put(K, V, callback)``.
+"""
+
+from typing import Callable, Generator, List, Optional
+
+from repro.core.adapters import adapter_factory
+from repro.core.range_query import merge_sorted_results, serial_global_scan
+from repro.core.requests import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_RANGE,
+    OP_SCAN,
+    OP_TXN_RELEASE,
+    OP_WRITEBATCH,
+    Request,
+)
+from repro.core.router import HashRouter
+from repro.core.txn import GsnManager, TransactionLog
+from repro.core.worker import Worker
+from repro.engine.batch import WriteBatch
+from repro.engine.env import Env
+from repro.storage.wal import RECORD_STANDALONE, RECORD_TXN
+
+__all__ = ["P2KVS"]
+
+#: user-thread CPU to build a request and enqueue it.
+SUBMIT_COST = 0.3e-6
+
+
+class P2KVS:
+    """Portable 2-dimensional parallelizing KVS framework."""
+
+    def __init__(
+        self,
+        env: Env,
+        workers: List[Worker],
+        router,
+        txn_log: TransactionLog,
+        gsn: GsnManager,
+        scan_strategy: str = "parallel",
+        name: str = "p2kvs",
+    ):
+        self.env = env
+        self.workers = workers
+        self.router = router
+        self.txn_log = txn_log
+        self.gsn = gsn
+        self.scan_strategy = scan_strategy
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        env: Env,
+        n_workers: int = 8,
+        adapter_open: Optional[Callable] = None,
+        obm: bool = True,
+        obm_cap: int = 32,
+        pin_workers: bool = True,
+        scan_strategy: str = "parallel",
+        router=None,
+        name: str = "p2kvs",
+    ) -> Generator:
+        """Create or recover a p2KVS deployment.
+
+        Recovery follows Section 4.5: read the durable transaction log,
+        compute the committed-GSN set, and open every instance with a WAL
+        record filter that discards uncommitted transaction records.
+        """
+        if adapter_open is None:
+            adapter_open = adapter_factory("rocksdb")
+        txn_log = TransactionLog(env, "%s/TXNLOG" % name)
+        committed, max_gsn = txn_log.recover()
+
+        def record_filter(rtype: int, gsn: int) -> bool:
+            return rtype != RECORD_TXN or gsn in committed
+
+        workers = []
+        for i in range(n_workers):
+            adapter = yield from adapter_open(
+                env, "%s/db-%d" % (name, i), record_filter
+            )
+            core = (i % env.cpu.n_cores) if pin_workers else None
+            worker = Worker(
+                i, env, adapter, core=core, obm_enabled=obm, obm_cap=obm_cap
+            )
+            workers.append(worker)
+        for worker in workers:
+            worker.start()
+        router = router or HashRouter(n_workers)
+        return cls(
+            env,
+            workers,
+            router,
+            txn_log,
+            GsnManager(max_gsn + 1),
+            scan_strategy,
+            name,
+        )
+
+    def close(self) -> Generator:
+        for worker in self.workers:
+            worker.shutdown()
+        for worker in self.workers:
+            yield from worker.adapter.close()
+
+    # ------------------------------------------------------------------
+    # Submission plumbing
+    # ------------------------------------------------------------------
+
+    def _submit_and_wait(self, ctx, request: Request, worker_id: int) -> Generator:
+        yield self.env.cpu.exec(ctx, SUBMIT_COST, "submit")
+        request.future = self.env.sim.event()
+        self.workers[worker_id].submit(request)
+        waited_since = self.env.sim.now
+        result = yield request.future
+        ctx.account_wait("request_wait", self.env.sim.now - waited_since)
+        return result
+
+    def _submit_async(self, ctx, request: Request, worker_id: int) -> Generator:
+        yield self.env.cpu.exec(ctx, SUBMIT_COST, "submit")
+        self.workers[worker_id].submit(request)
+
+    def _fork_to_all(self, ctx, make_request) -> Generator:
+        """Enqueue one sub-request per worker; gather results in worker order."""
+        yield self.env.cpu.exec(ctx, SUBMIT_COST * len(self.workers), "submit")
+        futures = []
+        for worker in self.workers:
+            request = make_request()
+            request.future = self.env.sim.event()
+            worker.submit(request)
+            futures.append(request.future)
+        waited_since = self.env.sim.now
+        results = yield self.env.sim.all_of(futures)
+        ctx.account_wait("request_wait", self.env.sim.now - waited_since)
+        return results
+
+    # ------------------------------------------------------------------
+    # Standard KV interface
+    # ------------------------------------------------------------------
+
+    def put(self, ctx, key: bytes, value: bytes) -> Generator:
+        gsn = self.gsn.allocate()
+        request = Request(OP_PUT, key=key, value=value, gsn=gsn)
+        yield from self._submit_and_wait(ctx, request, self.router.route(key))
+
+    #: UPDATE is a PUT to an existing key (paper Table 1's UPDATE/RMW mix).
+    update = put
+
+    def delete(self, ctx, key: bytes) -> Generator:
+        gsn = self.gsn.allocate()
+        request = Request(OP_DELETE, key=key, gsn=gsn)
+        yield from self._submit_and_wait(ctx, request, self.router.route(key))
+
+    def get(self, ctx, key: bytes) -> Generator:
+        request = Request(OP_GET, key=key)
+        return (
+            yield from self._submit_and_wait(ctx, request, self.router.route(key))
+        )
+
+    def put_async(
+        self, ctx, key: bytes, value: bytes, callback: Optional[Callable] = None
+    ) -> Generator:
+        """Asynchronous write: returns after enqueue; callback on completion."""
+        gsn = self.gsn.allocate()
+        request = Request(OP_PUT, key=key, value=value, gsn=gsn, callback=callback)
+        yield from self._submit_async(ctx, request, self.router.route(key))
+
+    # ------------------------------------------------------------------
+    # Range queries (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def range_query(self, ctx, begin: bytes, end: bytes) -> Generator:
+        """RANGE: fork sub-RANGEs to every worker, merge sorted results."""
+        results = yield from self._fork_to_all(
+            ctx, lambda: Request(OP_RANGE, begin=begin, end=end)
+        )
+        return merge_sorted_results(results)
+
+    def scan(self, ctx, begin: bytes, count: int) -> Generator:
+        """SCAN: parallel over-read + filter, or serial global iterator."""
+        if self.scan_strategy == "serial":
+            adapters = [w.adapter for w in self.workers]
+            return (yield from serial_global_scan(ctx, adapters, begin, count))
+        results = yield from self._fork_to_all(
+            ctx, lambda: Request(OP_SCAN, begin=begin, count=count)
+        )
+        return merge_sorted_results(results, limit=count)
+
+    # ------------------------------------------------------------------
+    # Transactions (Section 4.5)
+    # ------------------------------------------------------------------
+
+    def write_batch(
+        self, ctx, batch: WriteBatch, isolation: str = "atomic"
+    ) -> Generator:
+        """Atomically apply a WriteBatch that may span instances.
+
+        Single-instance batches commit through the instance WAL alone;
+        multi-instance batches get the GSN begin/commit protocol.
+
+        ``isolation="read_committed"`` additionally hides the transaction's
+        updates from concurrent readers until the global commit: each worker
+        snapshots its instance before applying its fragment and serves reads
+        from that snapshot; the commit releases the snapshots (the paper's
+        Section 4.5 extension).  Requires snapshot-capable engines.
+        """
+        if isolation not in ("atomic", "read_committed"):
+            raise ValueError("unknown isolation level %r" % isolation)
+        snapshot_isolated = isolation == "read_committed"
+        if snapshot_isolated and not all(
+            getattr(a, "supports_snapshots", False) for a in self.adapters
+        ):
+            raise ValueError(
+                "read_committed requires snapshot-capable engines"
+            )
+        by_worker = {}
+        for vtype, key, value in batch:
+            worker_id = self.router.route(key)
+            sub = by_worker.setdefault(worker_id, WriteBatch())
+            sub._records.append((vtype, key, value))
+        gsn = self.gsn.allocate()
+        if len(by_worker) <= 1 and not snapshot_isolated:
+            for worker_id, sub in by_worker.items():
+                request = Request(
+                    OP_WRITEBATCH, batch=sub, gsn=gsn, rtype=RECORD_STANDALONE
+                )
+                yield from self._submit_and_wait(ctx, request, worker_id)
+            return
+        yield from self.txn_log.log_begin(gsn)
+        yield self.env.cpu.exec(ctx, SUBMIT_COST * len(by_worker), "submit")
+        futures = []
+        for worker_id, sub in by_worker.items():
+            request = Request(
+                OP_WRITEBATCH,
+                batch=sub,
+                gsn=gsn,
+                rtype=RECORD_TXN,
+                no_merge=True,
+                snapshot_isolated=snapshot_isolated,
+            )
+            request.future = self.env.sim.event()
+            self.workers[worker_id].submit(request)
+            futures.append(request.future)
+        yield self.env.sim.all_of(futures)
+        yield from self.txn_log.log_commit(gsn)
+        if snapshot_isolated:
+            # Make the updates visible: release every pre-txn snapshot.
+            release_futures = []
+            for worker_id in by_worker:
+                release = Request(OP_TXN_RELEASE, gsn=gsn, no_merge=True)
+                release.future = self.env.sim.event()
+                self.workers[worker_id].submit(release)
+                release_futures.append(release.future)
+            yield self.env.sim.all_of(release_futures)
+
+    # ------------------------------------------------------------------
+    # Runtime scaling (Section 4.2 future work)
+    # ------------------------------------------------------------------
+
+    def add_worker(self, ctx, adapter_open=None) -> Generator:
+        """Grow the deployment by one worker and rebalance the key space.
+
+        The paper notes that extending N "may lead to a reconstruction of
+        the entire set of KVS instances"; this implements that stop-the-world
+        resharding: drain in-flight work, open instance N, switch the router
+        to ``hash % (N+1)``, and migrate every key whose placement changed
+        (re-put at the new owner, delete at the old).  Only supported with
+        the default :class:`HashRouter`.
+        """
+        from repro.core.adapters import adapter_factory as _factory
+
+        if not isinstance(self.router, HashRouter):
+            raise ValueError("add_worker requires the hash router")
+        if adapter_open is None:
+            adapter_open = _factory("rocksdb")
+        # Drain: a barrier request through every queue guarantees all prior
+        # requests have been executed before migration starts.
+        yield from self._fork_to_all(
+            ctx, lambda: Request(OP_RANGE, begin=b"\xff\xff", end=b"\xff\xfe")
+        )
+        old_n = len(self.workers)
+        adapter = yield from adapter_open(
+            self.env, "%s/db-%d" % (self.name, old_n), None
+        )
+        template = self.workers[0]
+        worker = Worker(
+            old_n,
+            self.env,
+            adapter,
+            core=(old_n % self.env.cpu.n_cores)
+            if template.ctx.pinned is not None
+            else None,
+            obm_enabled=template.obm_enabled,
+            obm_cap=template.obm_cap,
+        )
+        worker.start()
+        self.workers.append(worker)
+        new_router = HashRouter(old_n + 1)
+        moved = 0
+        for old_id, old_worker in enumerate(self.workers[:old_n]):
+            pairs = yield from old_worker.adapter.range_query(ctx, b"", b"\xff" * 64)
+            to_move = [
+                (key, value)
+                for key, value in pairs
+                if new_router.route(key) != old_id
+            ]
+            for key, value in to_move:
+                new_id = new_router.route(key)
+                request = Request(OP_PUT, key=key, value=value)
+                request.future = self.env.sim.event()
+                self.workers[new_id].submit(request)
+                yield request.future
+                request = Request(OP_DELETE, key=key)
+                request.future = self.env.sim.event()
+                old_worker.submit(request)
+                yield request.future
+                moved += 1
+        self.router = new_router
+        return moved
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def adapters(self):
+        return [w.adapter for w in self.workers]
+
+    def memory_bytes(self) -> int:
+        return sum(a.memory_bytes() for a in self.adapters)
+
+    def queue_depths(self) -> List[int]:
+        return [len(w.queue) for w in self.workers]
+
+    def obm_stats(self) -> dict:
+        total_batches = sum(w.counters.get("batches") for w in self.workers)
+        total_requests = sum(w.counters.get("requests") for w in self.workers)
+        return {
+            "batches": total_batches,
+            "requests": total_requests,
+            "avg_batch": total_requests / total_batches if total_batches else 0.0,
+        }

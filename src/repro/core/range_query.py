@@ -1,0 +1,61 @@
+"""Range-query strategies across hash-partitioned instances (Section 4.4).
+
+Hash partitioning scatters adjacent keys across instances, so:
+
+* **RANGE(begin, end)** forks a sub-RANGE to every worker and merges the
+  sorted sub-results — no extra reads, because the bounds are explicit.
+* **SCAN(begin, n)** does not know how the n keys distribute.  Two
+  strategies:
+
+  - ``"parallel"`` (the paper's default choice): run SCAN(begin, n) with the
+    *same* scan size on every instance in parallel, merge, truncate to n.
+    Simple and parallel, but reads up to N x n entries (read amplification
+    the paper accepts given SSD bandwidth headroom).
+  - ``"serial"``: a conservative global merge-iterator over per-instance
+    iterators, pulling exactly n keys total, executed by the calling thread
+    (like RocksDB's MergeIterator).
+
+Instances hold disjoint key sets, so merging is a plain sorted merge with no
+duplicate resolution.
+"""
+
+import heapq
+from typing import Generator, List, Tuple
+
+__all__ = ["merge_sorted_results", "serial_global_scan"]
+
+Pair = Tuple[bytes, bytes]
+
+
+def merge_sorted_results(results: List[List[Pair]], limit: int = None) -> List[Pair]:
+    """Merge per-instance sorted (key, value) lists; optionally truncate."""
+    merged = list(heapq.merge(*results, key=lambda kv: kv[0]))
+    if limit is not None:
+        return merged[:limit]
+    return merged
+
+
+def serial_global_scan(ctx, adapters, begin: bytes, count: int) -> Generator:
+    """Pull exactly ``count`` pairs through a global merge of per-instance
+    iterators, driven sequentially by the calling thread."""
+    iterators = []
+    for adapter in adapters:
+        make_iterator = adapter.iterator_cursors()
+        iterators.append(make_iterator(snapshot_seq=2**63 - 1))
+    heads: List[Tuple[bytes, int, bytes]] = []
+    for i, iterator in enumerate(iterators):
+        yield adapters[i].env.cpu.exec(
+            ctx, 1.2e-6 * len(iterator._cursors), "read"
+        )
+        yield from iterator.seek(begin)
+        pair = yield from iterator.next_user()
+        if pair is not None:
+            heapq.heappush(heads, (pair[0], i, pair[1]))
+    out: List[Pair] = []
+    while heads and len(out) < count:
+        key, i, value = heapq.heappop(heads)
+        out.append((key, value))
+        pair = yield from iterators[i].next_user()
+        if pair is not None:
+            heapq.heappush(heads, (pair[0], i, pair[1]))
+    return out

@@ -1,0 +1,109 @@
+"""Balanced request allocation (paper Section 4.2).
+
+The default router divides the key space with a modular hash,
+``worker = hash(key) % N``: load-balancing, near-zero overhead, and no read
+magnification because partitions never overlap.  A range router is provided
+for the partitioning ablation (the paper mentions dynamic key-ranges as an
+alternative matching certain access patterns).
+
+The hash must be deterministic across runs (Python's builtin ``hash`` is
+salted), so we use FNV-1a.
+"""
+
+from bisect import bisect_right
+from typing import List
+
+__all__ = ["HashRouter", "PrefixRouter", "RangeRouter", "fnv1a"]
+
+
+def fnv1a(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class HashRouter:
+    """worker_id = FNV1a(key) % n_workers."""
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+
+    def route(self, key: bytes) -> int:
+        return fnv1a(key) % self.n_workers
+
+    def histogram(self, keys) -> List[int]:
+        """Requests per worker for a key stream (used by skew analyses)."""
+        counts = [0] * self.n_workers
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+
+class PrefixRouter:
+    """Semantic placement: route by key prefix (column/table semantics).
+
+    The paper contrasts p2KVS's semantics-free hash sharding with database
+    practice, where "specific interface semantics (e.g., column) ... are
+    used to determine the instances where key-value pairs are placed"
+    (Section 6).  This router implements that practice for comparison: keys
+    whose prefix (up to the first ``separator``) matches a configured
+    column go to that column's worker; unmatched keys fall back to a hash
+    over the remaining workers.
+    """
+
+    def __init__(self, columns: dict, n_workers: int, separator: bytes = b":"):
+        if not columns:
+            raise ValueError("need at least one column mapping")
+        if any(w >= n_workers for w in columns.values()):
+            raise ValueError("column mapped to nonexistent worker")
+        self.columns = dict(columns)
+        self.n_workers = n_workers
+        self.separator = separator
+        self._fallback = [
+            w for w in range(n_workers) if w not in set(columns.values())
+        ] or list(range(n_workers))
+
+    def column_of(self, key: bytes) -> bytes:
+        head, sep, _ = key.partition(self.separator)
+        return head if sep else b""
+
+    def route(self, key: bytes) -> int:
+        worker = self.columns.get(self.column_of(key))
+        if worker is not None:
+            return worker
+        return self._fallback[fnv1a(key) % len(self._fallback)]
+
+    def histogram(self, keys) -> List[int]:
+        counts = [0] * self.n_workers
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+
+class RangeRouter:
+    """Static key-range partitioning over sorted boundary keys.
+
+    ``boundaries`` are n_workers-1 split points: key < boundaries[0] goes to
+    worker 0, and so on.  Preserves key adjacency within a worker (good for
+    scans) but is skew-sensitive — the trade-off the partitioning ablation
+    measures.
+    """
+
+    def __init__(self, boundaries: List[bytes]):
+        if sorted(boundaries) != list(boundaries):
+            raise ValueError("boundaries must be sorted")
+        self.boundaries = list(boundaries)
+        self.n_workers = len(boundaries) + 1
+
+    def route(self, key: bytes) -> int:
+        return bisect_right(self.boundaries, key)
+
+    def histogram(self, keys) -> List[int]:
+        counts = [0] * self.n_workers
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

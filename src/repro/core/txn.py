@@ -1,0 +1,65 @@
+"""Global Sequence Numbers and cross-instance transactions (Section 4.5).
+
+Every write request gets a strictly increasing GSN.  A transaction that spans
+instances is split into per-instance WriteBatches sharing one GSN; OBM never
+merges them with other requests.  The framework persists a BEGIN record when
+the transaction initializes and a COMMIT record when every sub-batch has been
+applied.  After a crash, only TXN-type WAL records whose GSN has a durable
+COMMIT are replayed — rolling back partially-applied transactions exactly as
+the paper's Figure 11 example describes.
+"""
+
+import struct
+from typing import Generator, Set, Tuple
+
+from repro.storage.wal import LogReader, LogWriter
+
+__all__ = ["GsnManager", "TransactionLog"]
+
+_REC = struct.Struct("<BQ")
+KIND_BEGIN = 0
+KIND_COMMIT = 1
+
+
+class TransactionLog:
+    """The framework-level durable record of transaction boundaries."""
+
+    def __init__(self, env, path: str):
+        self.env = env
+        self.vfile = env.disk.open_file(path)
+        self.writer = LogWriter(self.vfile)
+
+    def log_begin(self, gsn: int) -> Generator:
+        self.writer.append(_REC.pack(KIND_BEGIN, gsn))
+        yield from self.writer.flush(category="txnlog")
+
+    def log_commit(self, gsn: int) -> Generator:
+        self.writer.append(_REC.pack(KIND_COMMIT, gsn))
+        yield from self.writer.flush(category="txnlog")
+
+    def recover(self) -> Tuple[Set[int], int]:
+        """Parse the durable log: (committed GSNs, max GSN seen)."""
+        committed: Set[int] = set()
+        max_gsn = 0
+        for record in LogReader(self.vfile.durable_content()):
+            kind, gsn = _REC.unpack(record.payload)
+            max_gsn = max(max_gsn, gsn)
+            if kind == KIND_COMMIT:
+                committed.add(gsn)
+        return committed, max_gsn
+
+
+class GsnManager:
+    """Allocates strictly increasing GSNs."""
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def allocate(self) -> int:
+        gsn = self._next
+        self._next += 1
+        return gsn
+
+    @property
+    def next_gsn(self) -> int:
+        return self._next

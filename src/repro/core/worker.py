@@ -1,0 +1,178 @@
+"""p2KVS worker threads (paper Sections 4.1 and 4.3).
+
+Each worker owns one KVS instance and one request queue, and is pinned to a
+dedicated core.  Its loop is Figure 9b's right-hand side: dequeue, form an
+opportunistic batch, execute against the instance, complete the futures.
+Background compactions belong to the instance's own threads; the worker only
+runs the foreground path.
+"""
+
+from typing import Generator, List
+
+from repro.core.obm import DEFAULT_BATCH_CAP, collect_batch
+from repro.core.requests import (
+    OP_SCAN,
+    OP_TXN_RELEASE,
+    OP_WRITEBATCH,
+    READ_CLASS,
+    Request,
+    SHUTDOWN,
+    WRITE_CLASS,
+)
+from repro.engine.batch import WriteBatch
+from repro.sim.queues import FIFOQueue
+from repro.sim.stats import Counter, Histogram
+
+__all__ = ["Worker"]
+
+#: worker-side CPU cost to dequeue + classify one batch.
+DISPATCH_COST = 0.2e-6
+
+
+class Worker:
+    """One KVS instance + request queue + pinned worker thread."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        env,
+        adapter,
+        core: int,
+        obm_enabled: bool = True,
+        obm_cap: int = DEFAULT_BATCH_CAP,
+    ):
+        self.worker_id = worker_id
+        self.env = env
+        self.adapter = adapter
+        self.obm_enabled = obm_enabled
+        self.obm_cap = obm_cap
+        self.queue = FIFOQueue(env.sim, "worker-%d" % worker_id)
+        self.ctx = env.cpu.new_thread(
+            "p2kvs-worker-%d" % worker_id, kind="worker", pinned=core
+        )
+        self.counters = Counter()
+        self.batch_sizes = Histogram()
+        #: gsn -> pre-transaction snapshot seq, for read-committed isolation:
+        #: while a transaction's updates are applied-but-uncommitted on this
+        #: instance, reads are served from the snapshot taken before them.
+        self.txn_snapshots = {}
+        self._proc = None
+
+    def start(self) -> None:
+        self._proc = self.env.sim.spawn(self._loop(), "worker-%d" % self.worker_id)
+
+    def submit(self, request: Request) -> None:
+        request.submit_time = self.env.sim.now
+        self.queue.put(request)
+
+    def shutdown(self) -> None:
+        self.queue.put(SHUTDOWN)
+
+    # -- worker loop -------------------------------------------------------
+
+    def _loop(self) -> Generator:
+        while True:
+            request = yield self.queue.get()
+            if request is SHUTDOWN:
+                return
+            yield self.env.cpu.exec(self.ctx, DISPATCH_COST, "dispatch")
+            if self.obm_enabled:
+                batch = collect_batch(request, self.queue, self.obm_cap)
+            else:
+                batch = [request]
+            self.batch_sizes.record(len(batch))
+            self.counters.add("batches")
+            self.counters.add("requests", len(batch))
+            yield from self._execute(batch)
+
+    def _execute(self, batch: List[Request]) -> Generator:
+        merge_class = batch[0].merge_class
+        if batch[0].op == OP_TXN_RELEASE:
+            self._release_txn_snapshot(batch[0])
+            return
+        if merge_class == WRITE_CLASS:
+            yield from self._execute_writes(batch)
+        elif merge_class == READ_CLASS:
+            yield from self._execute_reads(batch)
+        else:
+            yield from self._execute_scan(batch[0])
+
+    # -- read-committed isolation (Section 4.5 future work) ---------------
+
+    def _read_snapshot(self):
+        """The snapshot uncommitted-transaction-shadowed reads must use."""
+        if not self.txn_snapshots:
+            return None
+        return min(self.txn_snapshots.values())
+
+    def _release_txn_snapshot(self, request: Request) -> None:
+        seq = self.txn_snapshots.pop(request.gsn, None)
+        if seq is not None and getattr(self.adapter, "supports_snapshots", False):
+            self.adapter.release_snapshot(seq)
+        self._complete(request, None)
+
+    def _execute_writes(self, batch: List[Request]) -> Generator:
+        if len(batch) == 1 or not self.adapter.supports_batch_write:
+            for request in batch:
+                yield from self._execute_single_write(request)
+            return
+        merged = WriteBatch()
+        for request in batch:
+            if request.op == OP_WRITEBATCH:
+                merged.extend(request.batch)
+            elif request.op == "DELETE":
+                merged.delete(request.key)
+            else:
+                merged.put(request.key, request.value)
+        self.counters.add("obm_write_batches")
+        self.counters.add("obm_write_merged", len(batch))
+        yield from self.adapter.write(ctx=self.ctx, batch=merged)
+        for request in batch:
+            self._complete(request, None)
+
+    def _execute_single_write(self, request: Request) -> Generator:
+        if request.op == OP_WRITEBATCH:
+            if request.snapshot_isolated and getattr(
+                self.adapter, "supports_snapshots", False
+            ):
+                # Shield concurrent readers from this transaction's updates
+                # until the framework confirms the global commit.
+                self.txn_snapshots[request.gsn] = self.adapter.snapshot()
+            yield from self.adapter.write(
+                self.ctx, request.batch, request.gsn, request.rtype
+            )
+        elif request.op == "DELETE":
+            yield from self.adapter.delete(self.ctx, request.key)
+        else:
+            yield from self.adapter.put(self.ctx, request.key, request.value)
+        self._complete(request, None)
+
+    def _execute_reads(self, batch: List[Request]) -> Generator:
+        snapshot = self._read_snapshot()
+        if len(batch) == 1:
+            value = yield from self.adapter.get(self.ctx, batch[0].key, snapshot)
+            self._complete(batch[0], value)
+            return
+        self.counters.add("obm_read_batches")
+        self.counters.add("obm_read_merged", len(batch))
+        keys = [request.key for request in batch]
+        values = yield from self.adapter.multiget(self.ctx, keys, snapshot)
+        for request, value in zip(batch, values):
+            self._complete(request, value)
+
+    def _execute_scan(self, request: Request) -> Generator:
+        if request.op == OP_SCAN:
+            result = yield from self.adapter.scan(
+                self.ctx, request.begin, request.count
+            )
+        else:  # RANGE
+            result = yield from self.adapter.range_query(
+                self.ctx, request.begin, request.end
+            )
+        self._complete(request, result)
+
+    def _complete(self, request: Request, result) -> None:
+        if request.future is not None:
+            request.future.succeed(result)
+        if request.callback is not None:
+            request.callback(result)

@@ -1,0 +1,35 @@
+"""LSM-tree storage engine: the RocksDB/LevelDB stand-in the paper builds on.
+
+Public surface:
+
+* :class:`~repro.engine.db.LSMEngine` — one KVS instance (WAL + MemTables +
+  leveled LSM-tree + background flush/compaction).
+* :class:`~repro.engine.batch.WriteBatch` — atomic multi-record writes.
+* :func:`~repro.engine.options.rocksdb_options` /
+  :func:`~repro.engine.options.leveldb_options` /
+  :func:`~repro.engine.options.pebblesdb_options` — engine presets.
+* :func:`~repro.engine.env.make_env` — the simulated machine.
+"""
+
+from repro.engine.batch import WriteBatch
+from repro.engine.costs import CostModel
+from repro.engine.db import LSMEngine
+from repro.engine.env import Env, make_env
+from repro.engine.options import (
+    EngineOptions,
+    leveldb_options,
+    pebblesdb_options,
+    rocksdb_options,
+)
+
+__all__ = [
+    "CostModel",
+    "Env",
+    "EngineOptions",
+    "LSMEngine",
+    "WriteBatch",
+    "leveldb_options",
+    "make_env",
+    "pebblesdb_options",
+    "rocksdb_options",
+]

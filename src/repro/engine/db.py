@@ -1,0 +1,709 @@
+"""The LSM-tree storage engine (RocksDB/LevelDB stand-in).
+
+One :class:`LSMEngine` instance is the paper's "KVS instance": its own WAL,
+MemTable(s), and on-disk LSM-tree, plus background flush and compaction
+threads.  All public operations are generator "processes": call them with
+``yield from`` inside a simulated thread, passing the thread's context for
+CPU accounting::
+
+    engine = yield from LSMEngine.open(env, "db0", rocksdb_options())
+    yield from engine.put(ctx, b"k", b"v")
+    value = yield from engine.get(ctx, b"k")
+
+Functional behaviour (MVCC visibility, recovery, compaction correctness) is
+real; timing comes from the cost model in :mod:`repro.engine.costs` charged
+against the shared CPU/device models.
+"""
+
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.engine.batch import WriteBatch
+from repro.engine.compaction import (
+    Compaction,
+    dedup_entries,
+    merge_sorted_runs,
+    pick_compaction,
+)
+from repro.engine.env import Env
+from repro.engine.iterator import LevelCursor, MemTableCursor, MergingIterator
+from repro.engine.options import EngineOptions
+from repro.engine.version import FileMeta, VersionEdit, VersionSet
+from repro.engine.write_group import WriteGroupCoordinator
+from repro.sim.stats import Counter
+from repro.sim.sync import Condition, Lock
+from repro.storage.block_cache import BlockCache
+from repro.storage.memtable import FOUND, MemTable, NOT_FOUND
+from repro.storage.sstable import SSTableBuilder
+from repro.storage.wal import LogReader, LogWriter, RECORD_STANDALONE
+
+__all__ = ["LSMEngine"]
+
+RecordFilter = Callable[[int, int], bool]  # (rtype, gsn) -> keep?
+
+
+def _name_seed(name: str) -> int:
+    import zlib
+
+    return zlib.crc32(name.encode()) & 0xFFFF
+
+
+class LSMEngine:
+    """One LSM-tree KVS instance on a shared simulated machine."""
+
+    def __init__(self, env: Env, name: str, options: Optional[EngineOptions] = None):
+        self.env = env
+        self.name = name
+        self.options = options or EngineOptions()
+        self.costs = self.options.costs
+        self.versions = VersionSet(env, name, self.options)
+        self.block_cache = BlockCache(self.options.block_cache_bytes)
+        self.seq = 0  # last *allocated* sequence number
+        #: last *published* sequence: readers only see entries up to here.
+        #: Allocation happens at group formation but entries become visible
+        #: only after the whole group's memtable inserts complete, in
+        #: allocation order — RocksDB's last_sequence publication protocol,
+        #: without which a snapshot could observe half of a WriteBatch.
+        self.visible_seq = 0
+        self._publish_pending: List[Tuple[int, int]] = []
+        self.memtable = MemTable(seed=_name_seed(name))
+        self.immutables: List[Tuple[MemTable, int]] = []  # (memtable, log number)
+        self.log_file_number = 0
+        self.log_writer: Optional[LogWriter] = None
+        self.coordinator = WriteGroupCoordinator(self)
+        self.compacting = set()  # file numbers being compacted
+        self.active_inserters = 0  # threads inside a memtable insert now
+        self.closing = False
+        self.read_lock = Lock(env.sim, "%s-read" % name)
+        self.mem_meta_lock = Lock(env.sim, "%s-memmeta" % name)
+        self.publish_cond = Condition(env.sim, "%s-publish" % name)
+        self.stall_cond = Condition(env.sim, "%s-stall" % name)
+        self.flush_cond = Condition(env.sim, "%s-flush" % name)
+        self.compact_cond = Condition(env.sim, "%s-compact" % name)
+        self.counters = Counter()
+        self.snapshots: List[int] = []
+        self._compaction_pacer = 0.0  # token-bucket tail for the rate limiter
+        self._flush_busy = 0
+        self._bg_threads: List = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        env: Env,
+        name: str,
+        options: Optional[EngineOptions] = None,
+        record_filter: Optional[RecordFilter] = None,
+    ) -> Generator:
+        """Create or recover an engine and start its background threads."""
+        engine = cls(env, name, options)
+        yield from engine._recover(record_filter)
+        engine._start_background()
+        return engine
+
+    def _wal_path(self, number: int) -> str:
+        return "%s/wal-%06d" % (self.name, number)
+
+    def _new_wal(self) -> None:
+        self.log_file_number = self.versions.new_file_number()
+        vfile = self.env.disk.open_file(self._wal_path(self.log_file_number))
+        self.log_writer = LogWriter(vfile)
+
+    def _recover(self, record_filter: Optional[RecordFilter]) -> Generator:
+        yield from self.versions.recover()
+        # Resume the sequence space above every surviving SSTable so new
+        # writes never collide with (or hide behind) persisted versions.
+        version = self.versions.current
+        for level in range(version.num_levels()):
+            for meta in version.level_files(level):
+                self.seq = max(self.seq, meta.table.max_seq)
+        # Replay WAL segments newer than the manifest's watermark, in order.
+        prefix = "%s/wal-" % self.name
+        paths = self.env.disk.list_files(prefix)
+        numbered = sorted(
+            (int(p[len(prefix):]), p) for p in paths
+        )
+        for number, path in numbered:
+            if number < self.versions.log_number:
+                self.env.disk.delete_file(path)
+                continue
+            data = yield from self.env.disk.open_file(path).read_all("recovery")
+            for record in LogReader(data):
+                if record_filter is not None and not record_filter(
+                    record.rtype, record.gsn
+                ):
+                    continue
+                batch = WriteBatch.decode(record.payload)
+                seqs = self.allocate_seqs(len(batch))
+                self.apply_to_memtable(batch, seqs)
+            self.env.disk.delete_file(path)
+        self.visible_seq = self.seq  # everything replayed is visible
+        self._new_wal()
+        # Re-log the recovered memtable so it is durable under the new WAL.
+        if not self.memtable.empty:
+            recovered = WriteBatch()
+            for key, _seq, vtype, value in self.memtable.entries():
+                recovered._records.append((vtype, key, value))
+            self.log_writer.append(recovered.encode(), RECORD_STANDALONE, 0)
+            yield from self.log_writer.flush("wal")
+
+    def _start_background(self) -> None:
+        sim = self.env.sim
+        for i in range(self.options.n_flush_threads):
+            ctx = self.env.cpu.new_thread("%s-flush-%d" % (self.name, i), "background")
+            self._bg_threads.append(sim.spawn(self._flush_loop(ctx), "%s-flush" % self.name))
+        for i in range(self.options.n_compaction_threads):
+            ctx = self.env.cpu.new_thread(
+                "%s-compact-%d" % (self.name, i), "background"
+            )
+            self._bg_threads.append(
+                sim.spawn(self._compaction_loop(ctx), "%s-compact" % self.name)
+            )
+
+    def close(self) -> Generator:
+        """Flush the WAL tail and stop background threads."""
+        self.closing = True
+        if self.log_writer is not None:
+            yield from self.log_writer.flush("wal")
+        self.flush_cond.notify_all()
+        self.compact_cond.notify_all()
+        self.stall_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Write path (called by WriteGroupCoordinator)
+    # ------------------------------------------------------------------
+
+    def allocate_seqs(self, n: int) -> range:
+        start = self.seq + 1
+        self.seq += n
+        return range(start, start + n)
+
+    def publish_seqs(self, first: int, last: int) -> None:
+        """Make [first, last] visible once every lower seq is visible too."""
+        import heapq
+
+        if last < first:
+            return
+        heapq.heappush(self._publish_pending, (first, last))
+        advanced = False
+        while (
+            self._publish_pending
+            and self._publish_pending[0][0] == self.visible_seq + 1
+        ):
+            _, upto = heapq.heappop(self._publish_pending)
+            self.visible_seq = upto
+            advanced = True
+        if advanced:
+            self.publish_cond.notify_all()
+
+    def log_append(self, payload: bytes, rtype: int, gsn: int) -> None:
+        self.log_writer.append(payload, rtype, gsn)
+
+    def maybe_flush_wal(self, ctx) -> Generator:
+        opts = self.options
+        if opts.sync_wal or self.log_writer.pending_bytes >= opts.wal_flush_bytes:
+            waited_since = self.env.sim.now
+            yield from self.log_writer.flush("wal")
+            ctx.account_wait("wal", self.env.sim.now - waited_since)
+
+    def apply_to_memtable(self, batch: WriteBatch, seqs) -> None:
+        if not self.options.enable_memtable:
+            return
+        for (vtype, key, value), seq in zip(batch, seqs):
+            self.memtable.add(seq, vtype, key, value)
+
+    def maybe_stall(self, ctx) -> Generator:
+        """Write backpressure: memtable backlog and L0 buildup."""
+        opts = self.options
+        while not self.closing:
+            l0 = len(self.versions.current.level_files(0))
+            if len(self.immutables) >= opts.max_write_buffer_number:
+                self.counters.add("stall_memtable")
+                yield self.stall_cond.wait(ctx, "stall")
+                continue
+            if l0 >= opts.l0_stop_trigger:
+                self.counters.add("stall_l0_stop")
+                yield self.stall_cond.wait(ctx, "stall")
+                continue
+            break
+        l0 = len(self.versions.current.level_files(0))
+        if l0 >= opts.l0_slowdown_trigger:
+            self.counters.add("stall_l0_slowdown")
+            waited_since = self.env.sim.now
+            yield self.env.sim.timeout(opts.slowdown_delay)
+            ctx.account_wait("stall", self.env.sim.now - waited_since)
+
+    def post_write(self, ctx, members) -> Generator:
+        """Group-completion bookkeeping: counters and memtable switch."""
+        for w in members:
+            self.counters.add("write_requests")
+            self.counters.add("records_written", len(w.batch))
+            self.counters.add("user_bytes_written", w.batch.byte_size)
+        if (
+            self.options.enable_memtable
+            and not self.options.disable_flush
+            and self.memtable.approximate_size >= self.options.write_buffer_size
+        ):
+            self._switch_memtable()
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _switch_memtable(self) -> None:
+        if self.memtable.empty:
+            return
+        self.immutables.append((self.memtable, self.log_file_number))
+        self.memtable = MemTable(seed=self.versions.next_file_number & 0xFFFF)
+        self._new_wal()
+        self.flush_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Public write API
+    # ------------------------------------------------------------------
+
+    def put(self, ctx, key: bytes, value: bytes) -> Generator:
+        batch = WriteBatch().put(key, value)
+        yield from self.write(ctx, batch)
+
+    def delete(self, ctx, key: bytes) -> Generator:
+        batch = WriteBatch().delete(key)
+        yield from self.write(ctx, batch)
+
+    def write(
+        self, ctx, batch: WriteBatch, gsn: int = 0, rtype: int = RECORD_STANDALONE
+    ) -> Generator:
+        if batch.empty:
+            return
+        yield from self.coordinator.write(ctx, batch, gsn, rtype)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def _memory_lookup(self, key: bytes, snapshot_seq: int):
+        state, value = self.memtable.get(key, snapshot_seq)
+        if state != NOT_FOUND:
+            return state, value
+        for memtable, _log in reversed(self.immutables):
+            state, value = memtable.get(key, snapshot_seq)
+            if state != NOT_FOUND:
+                return state, value
+        return NOT_FOUND, None
+
+    def _table_lookup(
+        self, ctx, key: bytes, snapshot_seq: int, charge_probes: bool = True
+    ) -> Generator:
+        """Search the on-disk tree, newest data first.
+
+        ``charge_probes=False`` is the multiget path: RocksDB's multiget
+        sorts the keys and shares filter/index block work across them, so
+        per-table probe CPU is amortized into the per-key multiget cost.
+        """
+        costs = self.costs
+        page_cache = self.env.disk.page_cache
+        version = self.versions.current
+        for meta in version.level_files(0):  # newest first
+            if not (meta.smallest <= key <= meta.largest):
+                continue
+            if charge_probes:
+                yield self.env.cpu.exec(ctx, costs.get_table_probe, "read")
+            state, value = yield from meta.table.get(
+                key, snapshot_seq, self.block_cache, self.env.device, page_cache
+            )
+            if state != NOT_FOUND:
+                return state, value
+        for level in range(1, version.num_levels()):
+            candidates = [
+                f
+                for f in version.level_files(level)
+                if f.smallest <= key <= f.largest
+            ]
+            # Under leveled compaction there is at most one candidate; the
+            # FLSM style may have several overlapping runs (newest first).
+            candidates.sort(key=lambda f: -f.number)
+            for meta in candidates:
+                if charge_probes:
+                    yield self.env.cpu.exec(ctx, costs.get_table_probe, "read")
+                state, value = yield from meta.table.get(
+                    key, snapshot_seq, self.block_cache, self.env.device, page_cache
+                )
+                if state != NOT_FOUND:
+                    return state, value
+        return NOT_FOUND, None
+
+    def get(self, ctx, key: bytes, snapshot_seq: Optional[int] = None) -> Generator:
+        """Point lookup; returns the value bytes or None.
+
+        Reads at the last *published* sequence by default, so concurrent
+        WriteBatches are observed atomically or not at all.
+        """
+        if snapshot_seq is None:
+            snapshot_seq = self.visible_seq
+        self.counters.add("read_requests")
+        # The instance-wide read critical section (block-cache LRU + version
+        # bookkeeping): concurrent readers of one instance serialize here.
+        yield self.read_lock.acquire(ctx, "read_lock")
+        yield self.env.cpu.exec(ctx, self.costs.read_serial, "read")
+        self.read_lock.release()
+        yield self.env.cpu.exec(ctx, self.costs.get_memtable_probe, "read")
+        state, value = self._memory_lookup(key, snapshot_seq)
+        if state == NOT_FOUND:
+            state, value = yield from self._table_lookup(ctx, key, snapshot_seq)
+        return value if state == FOUND else None
+
+    def multiget(
+        self, ctx, keys: List[bytes], snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        """Batched point lookups with internally parallel table IO.
+
+        RocksDB's multiget amortizes per-request CPU and overlaps the block
+        reads of different keys; here each key's table lookup runs as its own
+        sub-process so their device IOs overlap on the SSD channels while CPU
+        bursts still serialize on the calling thread's core.
+        """
+        if snapshot_seq is None:
+            snapshot_seq = self.visible_seq
+        self.counters.add("read_requests", len(keys))
+        yield self.read_lock.acquire(ctx, "read_lock")
+        yield self.env.cpu.exec(
+            ctx,
+            self.costs.read_serial + self.costs.read_serial_per_key * len(keys),
+            "read",
+        )
+        self.read_lock.release()
+        yield self.env.cpu.exec(
+            ctx, self.costs.multiget_per_key * len(keys), "read"
+        )
+        results: dict = {}
+        lookups = []
+        order = []
+        for key in keys:
+            state, value = self._memory_lookup(key, snapshot_seq)
+            if state != NOT_FOUND:
+                results[key] = value if state == FOUND else None
+            elif key not in results and key not in order:
+                order.append(key)
+        sim = self.env.sim
+
+        def lookup_one(key):
+            state, value = yield from self._table_lookup(
+                ctx, key, snapshot_seq, charge_probes=False
+            )
+            return key, (value if state == FOUND else None)
+
+        lookups = [sim.spawn(lookup_one(key)) for key in order]
+        if lookups:
+            done = yield sim.all_of(lookups)
+            for key, value in done:
+                results[key] = value
+        return [results.get(key) for key in keys]
+
+    # ------------------------------------------------------------------
+    # Range reads
+    # ------------------------------------------------------------------
+
+    def _make_iterator(self, snapshot_seq: int) -> MergingIterator:
+        cursors = [MemTableCursor(self.memtable)]
+        for memtable, _log in reversed(self.immutables):
+            cursors.append(MemTableCursor(memtable))
+        version = self.versions.current
+        page_cache = self.env.disk.page_cache
+        for meta in version.level_files(0):
+            cursors.append(
+                meta.table.cursor(self.block_cache, self.env.device, page_cache)
+            )
+        for level in range(1, version.num_levels()):
+            files = version.level_files(level)
+            if not files:
+                continue
+            if self.options.compaction_style == "flsm":
+                # Overlapping runs: one cursor per run.
+                for meta in files:
+                    cursors.append(
+                        meta.table.cursor(
+                            self.block_cache, self.env.device, page_cache
+                        )
+                    )
+            else:
+                cursors.append(
+                    LevelCursor(
+                        files, self.block_cache, self.env.device, page_cache
+                    )
+                )
+        return MergingIterator(cursors, snapshot_seq)
+
+    def scan(
+        self, ctx, begin: bytes, count: int, snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        """SCAN(begin, count): up to ``count`` pairs starting at begin."""
+        if snapshot_seq is None:
+            snapshot_seq = self.visible_seq
+        self.counters.add("scan_requests")
+        iterator = self._make_iterator(snapshot_seq)
+        yield self.env.cpu.exec(
+            ctx, self.costs.seek_per_source * len(iterator._cursors), "read"
+        )
+        yield from iterator.seek(begin)
+        out = []
+        while len(out) < count:
+            pair = yield from iterator.next_user()
+            if pair is None:
+                break
+            out.append(pair)
+        if iterator.entries_scanned:
+            yield self.env.cpu.exec(
+                ctx, self.costs.next_per_entry * iterator.entries_scanned, "read"
+            )
+        return out
+
+    def range_query(
+        self, ctx, begin: bytes, end: bytes, snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        """RANGE(begin, end): all pairs with begin <= key <= end."""
+        if snapshot_seq is None:
+            snapshot_seq = self.visible_seq
+        self.counters.add("range_requests")
+        iterator = self._make_iterator(snapshot_seq)
+        yield self.env.cpu.exec(
+            ctx, self.costs.seek_per_source * len(iterator._cursors), "read"
+        )
+        yield from iterator.seek(begin)
+        out = []
+        while True:
+            pair = yield from iterator.next_user()
+            if pair is None or pair[0] > end:
+                break
+            out.append(pair)
+        if iterator.entries_scanned:
+            yield self.env.cpu.exec(
+                ctx, self.costs.next_per_entry * iterator.entries_scanned, "read"
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Admin operations
+    # ------------------------------------------------------------------
+
+    def flush(self, ctx) -> Generator:
+        """Force the active memtable to disk and wait for its flush."""
+        if not self.memtable.empty:
+            self._switch_memtable()
+        while self.immutables:
+            yield self.env.sim.timeout(10e-6)
+
+    def compact_all(self, ctx) -> Generator:
+        """Run compactions inline until the tree satisfies every trigger.
+
+        The RocksDB ``CompactRange``-style maintenance entry point: useful
+        before read-heavy phases and in tests that need a quiesced tree.
+        """
+        yield from self.flush(ctx)
+        while True:
+            compaction = pick_compaction(self)
+            if compaction is None:
+                return
+            yield from self._run_compaction(ctx, compaction)
+            self.stall_cond.notify_all()
+
+    def describe(self) -> dict:
+        """A RocksDB-`GetProperty`-style stats snapshot."""
+        version = self.versions.current
+        levels = [
+            {
+                "files": len(version.level_files(level)),
+                "bytes": version.level_bytes(level),
+            }
+            for level in range(version.num_levels())
+        ]
+        return {
+            "name": self.name,
+            "levels": levels,
+            "memtable_bytes": self.memtable.approximate_size,
+            "immutable_memtables": len(self.immutables),
+            "last_seq": self.seq,
+            "live_snapshots": len(self.snapshots),
+            "block_cache": {
+                "used_bytes": self.block_cache.used_bytes,
+                "hit_rate": self.block_cache.hit_rate,
+            },
+            "counters": self.counters.as_dict(),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        seq = self.visible_seq
+        self.snapshots.append(seq)
+        return seq
+
+    def release_snapshot(self, seq: int) -> None:
+        self.snapshots.remove(seq)
+
+    # ------------------------------------------------------------------
+    # Background: flush
+    # ------------------------------------------------------------------
+
+    def _flush_loop(self, ctx) -> Generator:
+        while not self.closing:
+            if not self.immutables or self._flush_busy >= len(self.immutables):
+                yield self.flush_cond.wait()
+                continue
+            self._flush_busy += 1
+            memtable, log_number = self.immutables[self._flush_busy - 1]
+            try:
+                yield from self._flush_one(ctx, memtable, log_number)
+            finally:
+                self._flush_busy -= 1
+
+    def _flush_one(self, ctx, memtable: MemTable, log_number: int) -> Generator:
+        costs = self.costs
+        number = self.versions.new_file_number()
+        builder = SSTableBuilder(
+            number, self.options.block_size, self.options.bloom_bits_per_key
+        )
+        chunk = 0
+        for key, seq, vtype, value in memtable.entries():
+            builder.add(key, seq, vtype, value)
+            chunk += 1
+            if chunk >= costs.background_chunk:
+                yield self.env.cpu.exec(ctx, costs.flush_per_entry * chunk, "flush")
+                chunk = 0
+        if chunk:
+            yield self.env.cpu.exec(ctx, costs.flush_per_entry * chunk, "flush")
+        table = builder.finish()
+        blob = self.versions.blob_name(number)
+        self.env.disk.put_blob(blob, table, table.file_size)
+        yield self.env.device.write(table.file_size, category="flush")
+        self.env.disk.commit_blob(blob)
+        self.counters.add("flush_bytes", table.file_size)
+        self.counters.add("flushes")
+        # Install the SST *before* dropping the immutable: between the two
+        # steps readers see the data twice (harmless - MVCC dedup hides it),
+        # never zero times.  The oldest useful WAL is whatever backs the
+        # remaining immutables, else the active log.
+        remaining = [
+            (mt, log) for mt, log in self.immutables if mt is not memtable
+        ]
+        oldest_log = remaining[0][1] if remaining else self.log_file_number
+        edit = VersionEdit(
+            added=[(0, FileMeta.from_table(table))], log_number=oldest_log
+        )
+        yield from self.versions.log_and_apply(edit)
+        self.immutables = [
+            (mt, log) for mt, log in self.immutables if mt is not memtable
+        ]
+        self.env.disk.delete_file(self._wal_path(log_number))
+        self.stall_cond.notify_all()
+        self.compact_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Background: compaction
+    # ------------------------------------------------------------------
+
+    def _compaction_loop(self, ctx) -> Generator:
+        while not self.closing:
+            compaction = pick_compaction(self)
+            if compaction is None:
+                yield self.compact_cond.wait()
+                continue
+            yield from self._run_compaction(ctx, compaction)
+            self.stall_cond.notify_all()
+
+    def _run_compaction(self, ctx, compaction: Compaction) -> Generator:
+        costs = self.costs
+        for meta in compaction.all_inputs:
+            self.compacting.add(meta.number)
+        try:
+            runs = []
+            for meta in compaction.all_inputs:
+                entries = yield from meta.table.read_all_entries(self.env.device)
+                runs.append(entries)
+            merged = merge_sorted_runs(runs)
+            survivors = dedup_entries(
+                merged, sorted(self.snapshots), compaction.drop_tombstones
+            )
+            outputs = []
+            builder = None
+            chunk = 0
+            for key, seq, vtype, value in survivors:
+                if builder is None:
+                    builder = SSTableBuilder(
+                        self.versions.new_file_number(),
+                        self.options.block_size,
+                        self.options.bloom_bits_per_key,
+                    )
+                builder.add(key, seq, vtype, value)
+                chunk += 1
+                if chunk >= costs.background_chunk:
+                    yield self.env.cpu.exec(
+                        ctx, costs.compact_per_entry * chunk, "compaction"
+                    )
+                    chunk = 0
+                if builder.estimated_size >= self.options.target_file_size:
+                    outputs.append(builder.finish())
+                    builder = None
+            if chunk:
+                yield self.env.cpu.exec(
+                    ctx, costs.compact_per_entry * chunk, "compaction"
+                )
+            if builder is not None and not builder.empty:
+                outputs.append(builder.finish())
+            for table in outputs:
+                blob = self.versions.blob_name(table.number)
+                self.env.disk.put_blob(blob, table, table.file_size)
+                yield self.env.device.write(table.file_size, category="compaction")
+                self.env.disk.commit_blob(blob)
+                yield from self._throttle_compaction(table.file_size)
+            edit = VersionEdit(
+                added=[(compaction.target, FileMeta.from_table(t)) for t in outputs],
+                deleted=[
+                    (compaction.level, f.number) for f in compaction.inputs_lo
+                ]
+                + [(compaction.target, f.number) for f in compaction.inputs_hi],
+            )
+            yield from self.versions.log_and_apply(edit)
+            for meta in compaction.all_inputs:
+                self.env.disk.delete_blob(self.versions.blob_name(meta.number))
+            self.counters.add("compactions")
+            self.counters.add("compaction_read_bytes", compaction.input_bytes)
+            self.counters.add(
+                "compaction_write_bytes", sum(t.file_size for t in outputs)
+            )
+        finally:
+            for meta in compaction.all_inputs:
+                self.compacting.discard(meta.number)
+
+    def _throttle_compaction(self, nbytes: int) -> Generator:
+        """SILK-style rate limiting: pace compaction output writes so the
+        sustained compaction write rate never exceeds the configured cap."""
+        limit = self.options.compaction_rate_limit
+        if not limit:
+            return
+        now = self.env.sim.now
+        earliest = max(now, self._compaction_pacer) + nbytes / limit
+        self._compaction_pacer = earliest
+        if earliest > now:
+            yield self.env.sim.timeout(earliest - now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate resident memory of this instance."""
+        total = self.memtable.approximate_size
+        total += sum(mt.approximate_size for mt, _ in self.immutables)
+        total += self.block_cache.used_bytes
+        version = self.versions.current
+        for level in range(version.num_levels()):
+            for meta in version.level_files(level):
+                total += meta.table.bloom.nbytes + len(meta.table.blocks) * 24
+        return total
+
+    def num_level_files(self) -> List[int]:
+        version = self.versions.current
+        return [len(version.level_files(i)) for i in range(version.num_levels())]

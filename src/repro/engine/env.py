@@ -1,0 +1,49 @@
+"""Shared simulation environment handed to every storage system.
+
+One :class:`Env` = one machine: a simulator clock, a CPU core set, a storage
+device and the disk image that survives crashes.  Engines, baselines and the
+p2KVS framework all draw threads and charge CPU/IO against the same Env, so
+they contend for the same hardware exactly as the paper's co-located
+processes do.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.core import Simulator
+from repro.sim.cpu import CPUSet
+from repro.sim.device import DeviceSpec, OPTANE_905P, StorageDevice
+from repro.storage.vfs import DiskImage
+
+__all__ = ["Env", "make_env"]
+
+
+@dataclass
+class Env:
+    sim: Simulator
+    cpu: CPUSet
+    device: StorageDevice
+    disk: DiskImage
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+def make_env(
+    n_cores: int = 44,
+    device_spec: Optional[DeviceSpec] = None,
+    migration_overhead: float = 1.5e-6,
+    series_bin: float = 0.05,
+    page_cache_bytes: int = 1 << 40,
+) -> Env:
+    """Build a machine like the paper's testbed: 2x22-core Xeon, 64 GB DRAM
+    (a page cache that holds the whole scaled dataset by default — shrink
+    ``page_cache_bytes`` for cold-cache experiments) and an Optane 905p."""
+    sim = Simulator()
+    cpu = CPUSet(
+        sim, n_cores, migration_overhead=migration_overhead, series_bin=series_bin
+    )
+    device = StorageDevice(sim, device_spec or OPTANE_905P, series_bin=series_bin)
+    disk = DiskImage(sim, device, page_cache_bytes=page_cache_bytes)
+    return Env(sim=sim, cpu=cpu, device=device, disk=disk)

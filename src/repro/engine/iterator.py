@@ -1,0 +1,151 @@
+"""Cursors and the merging iterator for scans.
+
+All cursors follow one protocol: ``yield from cursor.seek(key)`` positions at
+the first entry with user key >= key, ``cursor.current`` is the entry tuple
+``(key, seq, vtype, value)`` or None, and ``yield from cursor.advance()``
+steps forward (possibly charging block IO).  :class:`MergingIterator`
+heap-merges any number of cursors in internal-key order, hides shadowed
+versions and tombstones, and applies the snapshot filter — the read-side
+equivalent of RocksDB's MergeIterator that p2KVS's serial SCAN strategy
+builds across instances (paper Section 4.4).
+"""
+
+import heapq
+from bisect import bisect_left
+from typing import Generator, List, Optional, Tuple
+
+from repro.storage.memtable import MAX_SEQ, MemTable, VTYPE_DELETE
+
+__all__ = ["LevelCursor", "MemTableCursor", "MergingIterator"]
+
+Entry = Tuple[bytes, int, int, bytes]
+
+
+class MemTableCursor:
+    """Cursor over a MemTable (pure in-memory; no IO charges)."""
+
+    def __init__(self, memtable: MemTable):
+        self._memtable = memtable
+        self._iter = None
+        self.current: Optional[Entry] = None
+
+    def seek(self, key: Optional[bytes]) -> Generator:
+        if key is None:
+            self._iter = self._memtable.entries()
+        else:
+            self._iter = self._memtable.iter_from(key)
+        self._step()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def advance(self) -> Generator:
+        self._step()
+        return
+        yield  # pragma: no cover
+
+    def _step(self) -> None:
+        self.current = next(self._iter, None)
+
+
+class LevelCursor:
+    """Cursor over a sorted, non-overlapping run of SSTables (level >= 1)."""
+
+    def __init__(self, files: List, cache, device, page_cache=None):
+        self._files = files  # List[FileMeta] sorted by smallest key
+        self._cache = cache
+        self._device = device
+        self._page_cache = page_cache
+        self._idx = 0
+        self._cursor = None
+        self.current: Optional[Entry] = None
+
+    def seek(self, key: Optional[bytes]) -> Generator:
+        if not self._files:
+            self.current = None
+            return
+        if key is None:
+            self._idx = 0
+        else:
+            # First file whose largest >= key.
+            self._idx = bisect_left([f.largest for f in self._files], key)
+        yield from self._open_and_seek(key)
+
+    def _open_and_seek(self, key: Optional[bytes]) -> Generator:
+        while self._idx < len(self._files):
+            meta = self._files[self._idx]
+            self._cursor = meta.table.cursor(
+                self._cache, self._device, self._page_cache
+            )
+            yield from self._cursor.seek(key)
+            if self._cursor.current is not None:
+                self.current = self._cursor.current
+                return
+            self._idx += 1
+            key = None
+        self._cursor = None
+        self.current = None
+
+    def advance(self) -> Generator:
+        if self._cursor is None:
+            return
+        yield from self._cursor.advance()
+        if self._cursor.current is not None:
+            self.current = self._cursor.current
+            return
+        self._idx += 1
+        yield from self._open_and_seek(None)
+
+
+class MergingIterator:
+    """Merges cursors in internal-key order with MVCC visibility rules.
+
+    ``yield from it.seek(begin)`` then repeated ``yield from it.next_user()``
+    returning ``(key, value)`` pairs (tombstoned and shadowed keys skipped),
+    or None when exhausted.
+    """
+
+    def __init__(self, cursors: List, snapshot_seq: int = MAX_SEQ):
+        self._cursors = cursors
+        self._snapshot = snapshot_seq
+        self._heap: List[Tuple[Tuple[bytes, int], int]] = []
+        self._last_user_key: Optional[bytes] = None
+        self.entries_scanned = 0  # merged entries examined (for cost charging)
+
+    def seek(self, begin: Optional[bytes]) -> Generator:
+        self._heap = []
+        self._last_user_key = None
+        for i, cursor in enumerate(self._cursors):
+            yield from cursor.seek(begin)
+            self._push(i)
+
+    def _push(self, i: int) -> None:
+        entry = self._cursors[i].current
+        if entry is not None:
+            heapq.heappush(self._heap, ((entry[0], MAX_SEQ - entry[1]), i))
+
+    def _pop_entry(self) -> Generator:
+        """Pop the smallest entry across cursors; returns entry or None."""
+        if not self._heap:
+            return None
+        _, i = heapq.heappop(self._heap)
+        entry = self._cursors[i].current
+        yield from self._cursors[i].advance()
+        self._push(i)
+        self.entries_scanned += 1
+        return entry
+
+    def next_user(self) -> Generator:
+        """Next visible (key, value) pair, or None at the end."""
+        while True:
+            entry = yield from self._pop_entry()
+            if entry is None:
+                return None
+            key, seq, vtype, value = entry
+            if seq > self._snapshot:
+                continue  # invisible to this snapshot
+            if key == self._last_user_key:
+                continue  # older, shadowed version
+            self._last_user_key = key
+            if vtype == VTYPE_DELETE:
+                continue  # tombstone hides the key
+            return key, value

@@ -1,0 +1,171 @@
+"""Experiment metrics: what every benchmark reports.
+
+A :class:`MetricsCollector` snapshots the shared device/CPU state at workload
+start and end, and accumulates per-operation latencies, so trailing
+background work (compactions draining after the last op) does not pollute
+the measured window — mirroring how the paper measures throughput over the
+foreground run.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import Histogram
+
+__all__ = ["Metrics", "MetricsCollector"]
+
+
+@dataclass
+class Metrics:
+    system: str
+    n_ops: int
+    elapsed: float
+    latency: Dict[str, Histogram]
+    device_bytes: Dict[str, float]
+    #: windowed per-kind:category byte deltas (e.g. "write:compaction").
+    device_bytes_kind: Dict[str, float]
+    device_read_bytes: float
+    device_write_bytes: float
+    user_bytes_written: float
+    cpu_busy: float
+    cpu_busy_by_kind: Dict[str, float]
+    per_core_util: List[float]
+    memory_bytes: int
+    n_cores: int
+    write_bandwidth: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        return self.n_ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def write_amplification(self) -> float:
+        """Total device writes / user payload bytes (the paper's IO amp)."""
+        if self.user_bytes_written <= 0:
+            return 0.0
+        return self.device_write_bytes / self.user_bytes_written
+
+    @property
+    def io_amplification(self) -> float:
+        """(reads + writes) / user bytes, Figure 12b's metric."""
+        if self.user_bytes_written <= 0:
+            return 0.0
+        return (
+            self.device_read_bytes + self.device_write_bytes
+        ) / self.user_bytes_written
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Moved bytes / (write bandwidth * elapsed), Figure 12c's metric."""
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.device_read_bytes + self.device_write_bytes) / (
+            self.write_bandwidth * self.elapsed
+        )
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Average busy cores over the run (paper normalizes to one core,
+        e.g. 1694% in Table 2 == 16.94 cores)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.cpu_busy / self.elapsed
+
+    def latency_of(self, verb_class: str) -> Histogram:
+        return self.latency.get(verb_class, Histogram())
+
+    @property
+    def avg_latency(self) -> float:
+        total, count = 0.0, 0
+        for hist in self.latency.values():
+            total += hist.mean * hist.count
+            count += hist.count
+        return total / count if count else 0.0
+
+    @property
+    def p99_latency(self) -> float:
+        merged = Histogram()
+        for hist in self.latency.values():
+            for sample in hist._samples:
+                merged.record(sample)
+        return merged.p99
+
+
+class MetricsCollector:
+    """Start/stop snapshots around the measured window."""
+
+    def __init__(self, env, system_name: str):
+        self.env = env
+        self.system_name = system_name
+        self.latency: Dict[str, Histogram] = {}
+        self._t0: Optional[float] = None
+        self._dev0: Dict[str, float] = {}
+        self._cpu0 = 0.0
+        self._cpu_kind0: Dict[str, float] = {}
+        self._kind0: Dict[str, float] = {}
+        self._rw0 = (0.0, 0.0)
+        self._core0: List[float] = []
+        self.memory_peak = 0
+
+    def start(self) -> None:
+        self._t0 = self.env.sim.now
+        self._dev0 = self.env.device.bytes_by_category.as_dict()
+        self._kind0 = self.env.device.bytes_by_kind.as_dict()
+        self._cpu0 = self.env.cpu.total_busy_time()
+        self._cpu_kind0 = dict(self.env.cpu.busy_by_kind)
+        self._core0 = [t.busy_time for t in self.env.cpu.trackers]
+        self._rw0 = (
+            self.env.device.bytes_by_kind.get("read"),
+            self.env.device.bytes_by_kind.get("write"),
+        )
+
+    def record_latency(self, verb_class: str, seconds: float) -> None:
+        hist = self.latency.get(verb_class)
+        if hist is None:
+            hist = self.latency[verb_class] = Histogram()
+        hist.record(seconds)
+
+    def note_memory(self, nbytes: int) -> None:
+        self.memory_peak = max(self.memory_peak, nbytes)
+
+    def finish(self, n_ops: int, user_bytes_written: float, memory_bytes: int) -> Metrics:
+        env = self.env
+        elapsed = env.sim.now - self._t0
+        dev1 = env.device.bytes_by_category.as_dict()
+        device_bytes = {
+            category: dev1.get(category, 0.0) - self._dev0.get(category, 0.0)
+            for category in set(dev1) | set(self._dev0)
+        }
+        kind1 = env.device.bytes_by_kind.as_dict()
+        device_bytes_kind = {
+            k: kind1.get(k, 0.0) - self._kind0.get(k, 0.0)
+            for k in set(kind1) | set(self._kind0)
+        }
+        read1 = env.device.bytes_by_kind.get("read")
+        write1 = env.device.bytes_by_kind.get("write")
+        cpu_kind1 = dict(env.cpu.busy_by_kind)
+        busy_by_kind = {
+            kind: cpu_kind1.get(kind, 0.0) - self._cpu_kind0.get(kind, 0.0)
+            for kind in set(cpu_kind1) | set(self._cpu_kind0)
+        }
+        return Metrics(
+            system=self.system_name,
+            n_ops=n_ops,
+            elapsed=elapsed,
+            latency=self.latency,
+            device_bytes=device_bytes,
+            device_bytes_kind=device_bytes_kind,
+            device_read_bytes=read1 - self._rw0[0],
+            device_write_bytes=write1 - self._rw0[1],
+            user_bytes_written=user_bytes_written,
+            cpu_busy=env.cpu.total_busy_time() - self._cpu0,
+            cpu_busy_by_kind=busy_by_kind,
+            per_core_util=[
+                (tracker.busy_time - before) / max(elapsed, 1e-12)
+                for tracker, before in zip(env.cpu.trackers, self._core0)
+            ],
+            memory_bytes=max(memory_bytes, self.memory_peak),
+            n_cores=env.cpu.n_cores,
+            write_bandwidth=env.device.spec.write_bandwidth,
+        )

@@ -1,0 +1,95 @@
+"""Reporting: ASCII tables and paper-vs-measured shape checks.
+
+Benchmarks print the same rows/series the paper's figures show, plus a shape
+check comparing the measured ratio against the paper's reported ratio with a
+tolerance band — we reproduce *shapes* (who wins, by roughly what factor),
+not absolute numbers (DESIGN.md Section 1).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["ShapeCheck", "format_qps", "format_table", "print_section"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.3g" % value
+    return str(value)
+
+
+def format_qps(qps: float) -> str:
+    if qps >= 1e6:
+        return "%.2f MQPS" % (qps / 1e6)
+    if qps >= 1e3:
+        return "%.1f KQPS" % (qps / 1e3)
+    return "%.0f QPS" % qps
+
+
+def print_section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper, checked against the simulation."""
+
+    name: str
+    paper: str
+    measured: float
+    lo: float
+    hi: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.hi is None:
+            return self.measured >= self.lo
+        return self.lo <= self.measured <= self.hi
+
+    def row(self) -> List[object]:
+        bound = (
+            ">= %.2f" % self.lo
+            if self.hi is None
+            else "%.2f..%.2f" % (self.lo, self.hi)
+        )
+        return [
+            self.name,
+            self.paper,
+            "%.2f" % self.measured,
+            bound,
+            "OK" if self.ok else "MISS",
+        ]
+
+
+def print_shape_checks(checks: Sequence[ShapeCheck]) -> None:
+    print()
+    print(
+        format_table(
+            ["shape check", "paper", "measured", "accept band", "verdict"],
+            [c.row() for c in checks],
+        )
+    )

@@ -1,0 +1,310 @@
+"""Event loop, events and processes for the simulation kernel.
+
+The kernel follows the SimPy model: a :class:`Process` wraps a Python
+generator; every value the generator yields must be an :class:`Event`, and the
+process is resumed when that event triggers.  Time is a float in *seconds*;
+micro-latencies from the paper (e.g. 2.1 us WAL writes) are expressed as
+``2.1e-6``.
+
+Events are single-shot: they trigger once, with either a value or an
+exception, and then fan out to all registered callbacks in FIFO order.
+"""
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "SimError",
+    "Simulator",
+    "Timeout",
+]
+
+# An event that triggered successfully carries _ok=True; a failed event
+# carries the exception in _value and re-raises it inside waiting processes.
+_PENDING = object()
+
+
+class SimError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. yielding non-events)."""
+
+
+class Event:
+    """A single-shot occurrence that processes can wait for.
+
+    Create via :meth:`Simulator.event` (or subclasses).  Trigger with
+    :meth:`succeed` or :meth:`fail`.  A process waits on an event simply by
+    yielding it.
+    """
+
+    __slots__ = ("sim", "_value", "_ok", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimError("event has not triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._queue_callbacks(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError("fail() requires an exception instance")
+        self._value = exc
+        self._ok = False
+        self.sim._queue_callbacks(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` once the event has triggered.
+
+        If the event already triggered, the callback fires on the next loop
+        iteration (never synchronously), preserving run-to-completion
+        semantics for the caller.
+        """
+        if self.triggered:
+            self.sim._queue_deferred(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError("negative timeout: %r" % (delay,))
+        super().__init__(sim)
+        sim._schedule(delay, self, value)
+
+
+class Process(Event):
+    """A running generator.  As an Event it triggers when the generator ends.
+
+    The generator's ``return`` value becomes the event value, so
+    ``result = yield some_process`` works, as does ``yield from`` composition
+    between plain generator functions.
+    """
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off on the next loop iteration.
+        sim._queue_deferred(self._resume_ok, None)
+
+    def _resume_ok(self, _event: Optional[Event]) -> None:
+        self._step(lambda: self.gen.send(None if _event is None else _event.value))
+
+    def _resume(self, event: Event) -> None:
+        if event.ok:
+            self._step(lambda: self.gen.send(event.value))
+        else:
+            self._step(lambda: self.gen.throw(event.value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if self._callbacks:
+                self.fail(exc)
+            else:
+                # Nobody is waiting: surface the error out of Simulator.run().
+                self.sim._crash(exc)
+            return
+        if not isinstance(target, Event):
+            self._step_fail(target)
+            return
+        target.add_callback(self._resume)
+
+    def _step_fail(self, target: Any) -> None:
+        exc = SimError(
+            "process %r yielded %r, which is not an Event" % (self.name, target)
+        )
+        self.gen.close()
+        self.sim._crash(exc)
+
+
+class AllOf(Event):
+    """Triggers once every event in ``events`` has triggered.
+
+    The value is the list of the individual event values, in input order.
+    Fails fast if any child fails.
+    """
+
+    __slots__ = ("_pending", "_results")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._results: List[Any] = [None] * len(events)
+        self._pending = len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_child_callback(i))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(ev: Event) -> None:
+            if self.triggered:
+                return
+            if not ev.ok:
+                self.fail(ev.value)
+                return
+            self._results[index] = ev.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(self._results)
+
+        return on_child
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers; value is (index, value)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimError("AnyOf requires at least one event")
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_child_callback(i))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(ev: Event) -> None:
+            if self.triggered:
+                return
+            if not ev.ok:
+                self.fail(ev.value)
+            else:
+                self.succeed((index, ev.value))
+
+        return on_child
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events to deliver."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = 0  # tie-break so heap order is FIFO and deterministic
+        self._pending_error: Optional[BaseException] = None
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event construction ----------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start running ``gen`` as a concurrent simulated process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule(self, delay: float, event: Event, value: Any) -> None:
+        """Trigger ``event`` (successfully) after ``delay`` seconds."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event, value))
+
+    def _queue_callbacks(self, event: Event) -> None:
+        """Deliver an already-triggered event's callbacks at the current time."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now, self._seq, event, _PENDING))
+
+    def _queue_deferred(self, fn: Callable, arg: Any) -> None:
+        """Run ``fn(arg)`` at the current time on the next loop iteration."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now, self._seq, (fn, arg), _PENDING))
+
+    def _crash(self, exc: BaseException) -> None:
+        if self._pending_error is None:
+            self._pending_error = exc
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event heap is empty or sim time passes ``until``.
+
+        Errors raised by processes with no waiters propagate out of here.
+        """
+        heap = self._heap
+        while heap:
+            if self._pending_error is not None:
+                err, self._pending_error = self._pending_error, None
+                raise err
+            when, _seq, target, value = heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            heapq.heappop(heap)
+            self._now = when
+            if isinstance(target, Event):
+                if value is not _PENDING:
+                    # A timer-style entry: trigger the event now.
+                    if not target.triggered:
+                        target._value = value
+                        target._ok = True
+                    # fall through to deliver callbacks
+                callbacks, target._callbacks = target._callbacks, []
+                for fn in callbacks:
+                    fn(target)
+            else:
+                fn, arg = target
+                fn(arg)
+        if self._pending_error is not None:
+            err, self._pending_error = self._pending_error, None
+            raise err
+        if until is not None:
+            self._now = max(self._now, until)

@@ -1,0 +1,202 @@
+"""Storage device models.
+
+A :class:`StorageDevice` services read/write requests with
+
+    service_time = base_latency [+ seek if random] + nbytes / bandwidth
+
+and at most ``channels`` requests in flight (the SSD's internal parallelism;
+1 for the HDD).  Requests beyond that queue FIFO.  Bytes are accounted per
+*category* ("wal", "flush", "compaction", "read", ...) and per time bin so
+that the paper's bandwidth plots (Figures 4, 5b, 12c, 21a) can be rebuilt.
+
+The three presets correspond to the devices in the paper's Figure 1:
+a WDC WD100EFAX HDD, a Samsung 860 PRO SATA SSD, and an Intel Optane 905p
+NVMe SSD (2.2 GB/s write / 2.6 GB/s read).
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.sim.core import Event, SimError, Simulator
+from repro.sim.stats import Counter, TimeSeries
+
+__all__ = [
+    "DeviceSpec",
+    "StorageDevice",
+    "HDD_WD100EFAX",
+    "SATA_860PRO",
+    "OPTANE_905P",
+]
+
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static performance parameters of a storage device."""
+
+    name: str
+    read_bandwidth: float  # bytes/second, sequential
+    write_bandwidth: float  # bytes/second, sequential
+    read_latency: float  # seconds, per-IO setup cost
+    write_latency: float  # seconds, per-IO setup cost
+    channels: int  # concurrent in-flight IOs (internal parallelism)
+    seek_time: float = 0.0  # extra seconds for *random* IOs (HDD head seek)
+
+    def service_time(self, kind: str, nbytes: int, random: bool) -> float:
+        if kind == "read":
+            t = self.read_latency + nbytes / self.read_bandwidth
+        elif kind == "write":
+            t = self.write_latency + nbytes / self.write_bandwidth
+        else:
+            raise SimError("unknown IO kind %r" % (kind,))
+        if random:
+            t += self.seek_time
+        return t
+
+
+HDD_WD100EFAX = DeviceSpec(
+    name="HDD WDC WD100EFAX 10TB",
+    read_bandwidth=0.20 * GIB,
+    write_bandwidth=0.19 * GIB,
+    read_latency=0.5e-3,
+    write_latency=0.5e-3,
+    channels=1,
+    seek_time=8.0e-3,
+)
+
+SATA_860PRO = DeviceSpec(
+    name="SATA SSD Samsung 860 PRO 512GB",
+    read_bandwidth=0.55 * GIB,
+    write_bandwidth=0.51 * GIB,
+    read_latency=80e-6,
+    write_latency=60e-6,
+    channels=4,
+)
+
+OPTANE_905P = DeviceSpec(
+    name="NVMe SSD Intel Optane 905p 480GB",
+    read_bandwidth=2.6 * GIB,
+    write_bandwidth=2.2 * GIB,
+    read_latency=10e-6,
+    write_latency=10e-6,
+    channels=8,
+)
+
+
+class StorageDevice:
+    """A shared storage device with bounded internal parallelism."""
+
+    def __init__(self, sim: Simulator, spec: DeviceSpec, series_bin: float = 0.1):
+        self.sim = sim
+        self.spec = spec
+        self._free_channels = spec.channels
+        self._pipe_free_at: Dict[str, float] = {"read": 0.0, "write": 0.0}
+        self._queue: Deque[Tuple[str, int, bool, Event, str]] = deque()
+        self.bytes_by_category = Counter()
+        self.bytes_by_kind = Counter()
+        self.io_count = Counter()
+        self.busy_channel_time = 0.0
+        self.bandwidth_series: Dict[str, TimeSeries] = {}
+        self._series_bin = series_bin
+
+    #: OS page-cache hit service: one RAM copy (no channels, no pipe).
+    RAM_LATENCY = 2.0e-6
+    RAM_BANDWIDTH = 10 * GIB
+
+    # -- public API -----------------------------------------------------------
+
+    def ram_read(self, nbytes: int) -> Event:
+        """A buffered read served by the OS page cache: RAM-speed, does not
+        consume device channels or bandwidth.  The paper's testbed has 64 GB
+        of DRAM against a ~13 GB dataset, so most SST reads take this path —
+        which is why small-KV reads are CPU-bound rather than IOPS-bound."""
+        self.io_count.add("ram_read")
+        self.bytes_by_kind.add("ram", nbytes)
+        return self.sim.timeout(self.RAM_LATENCY + nbytes / self.RAM_BANDWIDTH)
+
+    def read(self, nbytes: int, category: str = "read", random: bool = False) -> Event:
+        return self.submit("read", nbytes, category=category, random=random)
+
+    def write(self, nbytes: int, category: str = "data", random: bool = False) -> Event:
+        return self.submit("write", nbytes, category=category, random=random)
+
+    def submit(
+        self, kind: str, nbytes: int, category: str = "data", random: bool = False
+    ) -> Event:
+        """Submit one IO; the returned event triggers at IO completion."""
+        if nbytes < 0:
+            raise SimError("negative IO size")
+        ev = self.sim.event()
+        if self._free_channels > 0:
+            self._free_channels -= 1
+            self._start(kind, nbytes, random, ev, category)
+        else:
+            self._queue.append((kind, nbytes, random, ev, category))
+        return ev
+
+    # -- internals -------------------------------------------------------------
+
+    def _start(self, kind: str, nbytes: int, random: bool, ev: Event, category: str) -> None:
+        """Two-stage service: per-IO setup overlaps across channels, but the
+        byte transfer reserves the shared bandwidth pipe for its direction —
+        aggregate throughput can never exceed the spec's bandwidth, no matter
+        how many channels are in flight."""
+        setup = self.spec.service_time(kind, 0, random)
+        bandwidth = (
+            self.spec.read_bandwidth if kind == "read" else self.spec.write_bandwidth
+        )
+        started = self.sim.now
+        setup_end = started + setup
+        pipe_free = self._pipe_free_at[kind]
+        transfer_start = max(setup_end, pipe_free)
+        transfer_end = transfer_start + nbytes / bandwidth
+        self._pipe_free_at[kind] = transfer_end
+        done = self.sim.timeout(transfer_end - started)
+        done.add_callback(
+            lambda _ev: self._finish(kind, nbytes, ev, category, started)
+        )
+
+    def _finish(
+        self, kind: str, nbytes: int, ev: Event, category: str, started: float
+    ) -> None:
+        now = self.sim.now
+        self.busy_channel_time += now - started
+        self.bytes_by_category.add(category, nbytes)
+        self.bytes_by_kind.add(kind, nbytes)
+        self.bytes_by_kind.add("%s:%s" % (kind, category), nbytes)
+        self.io_count.add(kind)
+        self.io_count.add("%s:%s" % (kind, category))
+        series = self.bandwidth_series.get(category)
+        if series is None:
+            series = self.bandwidth_series[category] = TimeSeries(self._series_bin)
+        series.add(now, nbytes)
+        if self._queue:
+            self._start(*self._queue.popleft())
+        else:
+            self._free_channels += 1
+        ev.succeed()
+
+    # -- metrics -----------------------------------------------------------------
+
+    def total_bytes(self, kind: Optional[str] = None) -> float:
+        if kind is None:
+            return self.bytes_by_kind.get("read") + self.bytes_by_kind.get("write")
+        return self.bytes_by_kind.get(kind)
+
+    def bandwidth_utilization(self, elapsed: float) -> float:
+        """Fraction of aggregate sequential bandwidth actually moved.
+
+        Uses the write bandwidth as the reference ceiling (the paper's
+        bandwidth-utilization plots are for write-dominated workloads).
+        """
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes() / (self.spec.write_bandwidth * elapsed)
+
+    def channel_utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_channel_time / (self.spec.channels * elapsed)

@@ -1,0 +1,126 @@
+"""Request queues.
+
+The p2KVS worker loop (Algorithm 1 in the paper) needs more than a plain
+blocking queue: the opportunistic batching mechanism inspects the *type* of
+the head request and pops consecutive same-type requests without blocking.
+:class:`FIFOQueue` therefore exposes both a blocking ``get()`` event and
+synchronous ``peek()`` / ``try_pop()`` accessors.
+"""
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Event, Simulator
+
+__all__ = ["FIFOQueue", "PriorityQueue", "QueueEmpty"]
+
+
+class QueueEmpty(Exception):
+    """Raised by :meth:`FIFOQueue.try_pop` on an empty queue."""
+
+
+class FIFOQueue:
+    """An unbounded FIFO queue of items with blocking get.
+
+    Items put while a getter is waiting are handed directly to the getter
+    (FIFO among getters).  Tracks high-water mark and cumulative counts for
+    metrics.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_enqueued = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; never blocks (queue is unbounded)."""
+        self.total_enqueued += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return
+        self._items.append(item)
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item (blocks while empty)."""
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek(self) -> Optional[Any]:
+        """The head item without removing it, or None if empty."""
+        return self._items[0] if self._items else None
+
+    def try_pop(self) -> Any:
+        """Pop the head item; raise :class:`QueueEmpty` if empty."""
+        if not self._items:
+            raise QueueEmpty(self.name)
+        return self._items.popleft()
+
+
+class PriorityQueue:
+    """A priority queue of ``(priority, item)`` with blocking get.
+
+    Lower priority values pop first; equal priorities pop FIFO (a sequence
+    number breaks ties deterministically).  Useful for deadline- or
+    class-based worker scheduling experiments on top of the p2KVS queues.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "pqueue"):
+        import heapq
+
+        self._heapq = heapq
+        self.sim = sim
+        self.name = name
+        self._items: list = []
+        self._getters: Deque[Event] = deque()
+        self._seq = 0
+        self.total_enqueued = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any, priority: float = 0.0) -> None:
+        self.total_enqueued += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return
+        self._seq += 1
+        self._heapq.heappush(self._items, (priority, self._seq, item))
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+
+    def get(self) -> Event:
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._heapq.heappop(self._items)[2])
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0][2] if self._items else None
+
+    def try_pop(self) -> Any:
+        if not self._items:
+            raise QueueEmpty(self.name)
+        return self._heapq.heappop(self._items)[2]

@@ -1,0 +1,143 @@
+"""Measurement primitives: counters, latency histograms, time series.
+
+These power the paper's evaluation plots: QPS and latency percentiles
+(Figures 12-23), time-binned IO bandwidth and CPU utilization (Figures 4, 5,
+21), and per-category latency breakdowns (Figure 6).
+"""
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Histogram", "TimeSeries", "UtilizationTracker"]
+
+
+class Counter:
+    """Named monotonic counters grouped under one object."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+
+class Histogram:
+    """Latency histogram storing raw samples (experiments are small enough).
+
+    Percentiles use the nearest-rank method on the sorted samples.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        rank = max(1, math.ceil(p / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class TimeSeries:
+    """Accumulates amounts into fixed-width time bins.
+
+    Used for bandwidth-over-time and CPU-utilization-over-time plots: add
+    ``(when, amount)`` pairs and read back per-bin rates.
+    """
+
+    def __init__(self, bin_width: float = 0.1):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self._bins: Dict[int, float] = defaultdict(float)
+
+    def add(self, when: float, amount: float) -> None:
+        self._bins[int(when / self.bin_width)] += amount
+
+    def add_interval(self, start: float, end: float, amount_per_second: float) -> None:
+        """Spread a rate over [start, end), splitting across bin boundaries."""
+        if end <= start:
+            return
+        t = start
+        while t < end:
+            bin_end = (int(t / self.bin_width) + 1) * self.bin_width
+            seg_end = min(end, bin_end)
+            self._bins[int(t / self.bin_width)] += (seg_end - t) * amount_per_second
+            t = seg_end
+
+    def rates(self) -> List[Tuple[float, float]]:
+        """Return [(bin_start_time, amount_per_second)] for populated bins."""
+        return [
+            (idx * self.bin_width, total / self.bin_width)
+            for idx, total in sorted(self._bins.items())
+        ]
+
+    def total(self) -> float:
+        return sum(self._bins.values())
+
+
+class UtilizationTracker:
+    """Tracks busy time of a unit-capacity resource (a core, an IO channel).
+
+    ``mark_busy(start, end)`` intervals may not overlap for a single tracker;
+    utilization over a window is busy_time / window.
+    """
+
+    def __init__(self, series_bin: Optional[float] = None):
+        self.busy_time = 0.0
+        self._series = TimeSeries(series_bin) if series_bin else None
+
+    def mark_busy(self, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError("end before start")
+        self.busy_time += end - start
+        if self._series is not None:
+            self._series.add_interval(start, end, 1.0)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    def series(self) -> List[Tuple[float, float]]:
+        """Per-bin utilization in [0, 1]; empty if no series bin configured."""
+        return self._series.rates() if self._series is not None else []

@@ -1,0 +1,147 @@
+"""Synchronization primitives for simulated threads.
+
+All primitives hand off in FIFO order, which keeps runs deterministic.  Wait
+time can be *accounted* against a :class:`~repro.sim.cpu.ThreadContext`
+category (e.g. ``"wal_lock"``), which is how the latency breakdown of the
+paper's Figure 6 is measured.
+"""
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.sim.core import Event, SimError, Simulator
+
+__all__ = ["Barrier", "Condition", "Lock", "Semaphore"]
+
+
+class Lock:
+    """A FIFO mutex.
+
+    Usage inside a process::
+
+        yield lock.acquire(ctx, "wal_lock")
+        ...critical section...
+        lock.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Tuple[Event, Optional[object], Optional[str], float]] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self, ctx=None, category: Optional[str] = None) -> Event:
+        """Return an event that triggers once the lock is held by the caller."""
+        ev = self.sim.event()
+        if not self._locked:
+            self._locked = True
+            ev.succeed()
+        else:
+            self._waiters.append((ev, ctx, category, self.sim.now))
+        return ev
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimError("release of unlocked %s" % self.name)
+        if self._waiters:
+            ev, ctx, category, since = self._waiters.popleft()
+            if ctx is not None and category is not None:
+                ctx.account_wait(category, self.sim.now - since)
+            ev.succeed()
+        else:
+            self._locked = False
+
+
+class Semaphore:
+    """A counting semaphore with FIFO hand-off."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "sem"):
+        if capacity < 1:
+            raise SimError("semaphore capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> Event:
+        ev = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimError("release of idle %s" % self.name)
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Condition:
+    """A condition variable decoupled from any particular lock.
+
+    ``wait()`` returns an event; ``notify_all()`` wakes every current waiter.
+    Callers re-check their predicate after waking, as with any condvar.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cond"):
+        self.sim = sim
+        self.name = name
+        self._waiters: Deque[Event] = deque()
+
+    def wait(self, ctx=None, category: Optional[str] = None) -> Event:
+        ev = self.sim.event()
+        self._waiters.append(ev)
+        if ctx is not None and category is not None:
+            since = self.sim.now
+
+            def _account(_ev, ctx=ctx, category=category, since=since):
+                ctx.account_wait(category, self.sim.now - since)
+
+            ev.add_callback(_account)
+        return ev
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(min(n, len(self._waiters))):
+            self._waiters.popleft().succeed()
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+    @property
+    def n_waiters(self) -> int:
+        return len(self._waiters)
+
+
+class Barrier:
+    """Wait until ``parties`` processes have arrived; then all proceed."""
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SimError("barrier parties must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.parties = parties
+        self._arrived = 0
+        self._event = sim.event()
+
+    def arrive(self) -> Event:
+        """Register arrival; yield the returned event to wait for the rest."""
+        self._arrived += 1
+        ev = self._event
+        if self._arrived >= self.parties:
+            ev.succeed()
+        return ev

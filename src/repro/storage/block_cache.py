@@ -1,0 +1,55 @@
+"""LRU block cache.
+
+Shared per engine instance (RocksDB's default block cache is 8 MB per
+instance, which the paper cites when comparing against KVell's 4 GB page
+cache).  Capacity is in bytes; the cache evicts least-recently-used blocks
+when inserting past capacity.
+"""
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, nbytes: int) -> None:
+        if nbytes > self.capacity_bytes:
+            return  # larger than the whole cache: don't thrash it
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.used_bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self.used_bytes += nbytes
+        while self.used_bytes > self.capacity_bytes:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,191 @@
+"""In-memory B+-tree.
+
+Two consumers:
+
+* the WiredTiger-like baseline (paper Section 5.6.2) uses it as the index of
+  an on-disk B+-tree engine (each node maps to a page; the engine charges
+  page IO for uncached levels);
+* the KVell-like baseline (Section 5.5) keeps one B+-tree *entirely in
+  memory* per worker, mapping keys to slab locations — the source of KVell's
+  large memory footprint in Figure 21b.
+
+Leaves are linked for range scans.  ``memory_bytes`` estimates the resident
+footprint for the memory-usage comparisons.
+"""
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: List[Any] = []  # separator keys; len(children) == len(keys)+1
+        self.children: List[Any] = []
+
+
+class BPlusTree:
+    """Sorted map with O(log n) insert/get/delete and linked-leaf scans."""
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root: Any = _Leaf()
+        self._len = 0
+        self.height = 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- lookup ------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Inner):
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key, default=None):
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- insert ------------------------------------------------------------
+
+    def insert(self, key, value) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Inner()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self.height += 1
+        return self._last_insert_was_new
+
+    def _insert(self, node, key, value) -> Optional[Tuple[Any, Any]]:
+        if isinstance(node, _Leaf):
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                self._last_insert_was_new = False
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._len += 1
+            self._last_insert_was_new = True
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) > self.order:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        del leaf.keys[mid:]
+        del leaf.values[mid:]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _Inner) -> Tuple[Any, _Inner]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Inner()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        del node.keys[mid:]
+        del node.children[mid + 1 :]
+        return sep, right
+
+    # -- delete --------------------------------------------------------------
+
+    def delete(self, key) -> bool:
+        """Remove ``key`` if present; returns True if removed.
+
+        Uses lazy deletion (no rebalancing): fine for the workloads here,
+        where deletes are rare relative to inserts, and keeps the structure
+        simple.  Empty leaves are skipped during iteration.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+            self._len -= 1
+            return True
+        return False
+
+    # -- iteration ---------------------------------------------------------------
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        return node
+
+    def items_from(self, key=None) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) in key order, starting at the first key >= key."""
+        if key is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(key)
+            idx = bisect_left(leaf.keys, key)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                yield leaf.keys[idx], leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return self.items_from(None)
+
+    def range(self, begin, end) -> Iterator[Tuple[Any, Any]]:
+        """Yield items with begin <= key <= end."""
+        for k, v in self.items_from(begin):
+            if end is not None and k > end:
+                return
+            yield k, v
+
+    # -- metrics -------------------------------------------------------------------
+
+    def memory_bytes(self, key_size: int = 16, value_size: int = 16) -> int:
+        """Rough resident footprint: per-entry key+value+pointer overhead."""
+        per_entry = key_size + value_size + 48
+        return self._len * per_entry

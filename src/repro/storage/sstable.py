@@ -1,0 +1,270 @@
+"""Sorted String Tables.
+
+An SSTable is an immutable sorted run of multi-version entries
+``(key, seq, vtype, value)`` in internal order (key asc, seq desc), split
+into ~4 KiB data blocks with a block index and a bloom filter — the LevelDB
+file layout.  Point lookups charge one random block read on a cache miss;
+scans charge sequential block reads; compaction charges one bulk file read.
+
+Tables are pure data plus search logic; all device charging happens through
+the generator methods that take the block cache and device explicitly, so the
+same table object can be shared by any number of simulated readers.
+"""
+
+from bisect import bisect_left
+from typing import Generator, List, Optional, Tuple
+
+from repro.storage.bloom import BloomFilter
+from repro.storage.memtable import (
+    DELETED,
+    FOUND,
+    MAX_SEQ,
+    NOT_FOUND,
+    VTYPE_DELETE,
+)
+
+__all__ = ["Block", "SSTable", "SSTableBuilder", "TableCursor"]
+
+# On-disk framing per entry: klen u32 + vlen u32 + seq u40 + type u8.
+ENTRY_DISK_OVERHEAD = 13
+DEFAULT_BLOCK_TARGET = 4096
+
+# Entry tuple layout: (key, seq, vtype, value)
+Entry = Tuple[bytes, int, int, bytes]
+
+
+def entry_disk_size(key: bytes, value: bytes) -> int:
+    return len(key) + len(value) + ENTRY_DISK_OVERHEAD
+
+
+def _internal_key(entry: Entry) -> Tuple[bytes, int]:
+    return (entry[0], MAX_SEQ - entry[1])
+
+
+class Block:
+    """One data block: a sorted slice of entries plus its on-disk size."""
+
+    __slots__ = ("entries", "nbytes")
+
+    def __init__(self, entries: List[Entry], nbytes: int):
+        self.entries = entries
+        self.nbytes = nbytes
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class SSTable:
+    """Immutable sorted table; constructed via :class:`SSTableBuilder`."""
+
+    def __init__(
+        self,
+        number: int,
+        blocks: List[Block],
+        bloom: BloomFilter,
+        entry_count: int,
+    ):
+        self.number = number
+        self.blocks = blocks
+        self.bloom = bloom
+        self.entry_count = entry_count
+        # Index: last internal key per block, for binary search.
+        self._index: List[Tuple[bytes, int]] = [
+            _internal_key(b.entries[-1]) for b in blocks
+        ]
+        self.smallest: bytes = blocks[0].entries[0][0]
+        self.largest: bytes = blocks[-1].entries[-1][0]
+        self.min_seq = min(e[1] for b in blocks for e in b.entries)
+        self.max_seq = max(e[1] for b in blocks for e in b.entries)
+        index_bytes = len(blocks) * 24
+        self.file_size = sum(b.nbytes for b in blocks) + bloom.nbytes + index_bytes
+
+    @property
+    def name(self) -> str:
+        return "sst-%06d" % self.number
+
+    def overlaps(self, begin: Optional[bytes], end: Optional[bytes]) -> bool:
+        """Key-range overlap test; None bounds are open."""
+        if begin is not None and self.largest < begin:
+            return False
+        if end is not None and self.smallest > end:
+            return False
+        return True
+
+    # -- point lookup -----------------------------------------------------
+
+    def load_block(self, idx: int, cache, device, page_cache=None) -> Generator:
+        """Fetch block ``idx``: engine block cache (free) -> OS page cache
+        (one RAM copy) -> device (random block read)."""
+        block = self.blocks[idx]
+        cache_key = (self.number, idx)
+        if cache is not None and cache.get(cache_key) is not None:
+            return block
+        if page_cache is not None and page_cache.get(cache_key) is not None:
+            yield device.ram_read(block.nbytes)
+        else:
+            yield device.read(block.nbytes, category="read", random=True)
+            if page_cache is not None:
+                page_cache.put(cache_key, True, block.nbytes)
+        if cache is not None:
+            cache.put(cache_key, block, block.nbytes)
+        return block
+
+    def get(
+        self, key: bytes, snapshot_seq: int, cache, device, page_cache=None
+    ) -> Generator:
+        """Point lookup; returns (state, value) like MemTable.get.
+
+        A bloom miss or out-of-range key costs no IO.  The caller charges
+        CPU for the bloom/index probes from its cost model.
+        """
+        if key < self.smallest or key > self.largest:
+            return NOT_FOUND, None
+        if not self.bloom.may_contain(key):
+            return NOT_FOUND, None
+        target = (key, MAX_SEQ - snapshot_seq)
+        idx = bisect_left(self._index, target)
+        while idx < len(self.blocks):
+            block = yield from self.load_block(idx, cache, device, page_cache)
+            entries = block.entries
+            pos = bisect_left(entries, target, key=_internal_key)
+            if pos < len(entries):
+                entry = entries[pos]
+                if entry[0] != key:
+                    return NOT_FOUND, None
+                if entry[2] == VTYPE_DELETE:
+                    return DELETED, None
+                return FOUND, entry[3]
+            idx += 1  # target past this block's end: check next block's head
+        return NOT_FOUND, None
+
+    # -- bulk read (compaction) ------------------------------------------------
+
+    def read_all_entries(self, device, category: str = "compaction") -> Generator:
+        """Sequential full-file read; returns the flat entry list."""
+        yield device.read(self.file_size, category=category, random=False)
+        out: List[Entry] = []
+        for block in self.blocks:
+            out.extend(block.entries)
+        return out
+
+    def cursor(self, cache, device, page_cache=None) -> "TableCursor":
+        return TableCursor(self, cache, device, page_cache)
+
+
+class TableCursor:
+    """Forward cursor over a table's entries, loading blocks lazily.
+
+    Drive with ``yield from cursor.seek(key)`` then repeated
+    ``yield from cursor.advance()``; ``cursor.current`` is the entry or None
+    when exhausted.
+    """
+
+    def __init__(self, table: SSTable, cache, device, page_cache=None):
+        self.table = table
+        self.cache = cache
+        self.device = device
+        self.page_cache = page_cache
+        self._block_idx = 0
+        self._pos = 0
+        self._entries: Optional[List[Entry]] = None
+        self.current: Optional[Entry] = None
+
+    def seek(self, key: Optional[bytes]) -> Generator:
+        """Position at the first entry with user key >= key (None = start)."""
+        if key is None:
+            self._block_idx, self._pos = 0, 0
+        else:
+            target = (key, 0)
+            self._block_idx = bisect_left(self.table._index, target)
+            self._pos = 0
+        if self._block_idx >= len(self.table.blocks):
+            self.current = None
+            self._entries = None
+            return
+        block = yield from self.table.load_block(
+            self._block_idx, self.cache, self.device, self.page_cache
+        )
+        self._entries = block.entries
+        if key is not None:
+            self._pos = bisect_left(self._entries, (key, 0), key=_internal_key)
+        yield from self._settle()
+
+    def _settle(self) -> Generator:
+        """Move to the next block(s) if positioned past the current one."""
+        while self._entries is not None and self._pos >= len(self._entries):
+            self._block_idx += 1
+            self._pos = 0
+            if self._block_idx >= len(self.table.blocks):
+                self._entries = None
+                break
+            block = yield from self.table.load_block(
+                self._block_idx, self.cache, self.device, self.page_cache
+            )
+            self._entries = block.entries
+        self.current = (
+            self._entries[self._pos] if self._entries is not None else None
+        )
+
+    def advance(self) -> Generator:
+        if self._entries is None:
+            return
+        self._pos += 1
+        yield from self._settle()
+
+
+class SSTableBuilder:
+    """Accumulates entries (already in internal order) into an SSTable."""
+
+    def __init__(
+        self,
+        number: int,
+        block_target: int = DEFAULT_BLOCK_TARGET,
+        bits_per_key: int = 10,
+    ):
+        self.number = number
+        self.block_target = block_target
+        self.bits_per_key = bits_per_key
+        self._blocks: List[Block] = []
+        self._current: List[Entry] = []
+        self._current_bytes = 0
+        self._keys: List[bytes] = []
+        self._entry_count = 0
+        self._last_internal: Optional[Tuple[bytes, int]] = None
+
+    def add(self, key: bytes, seq: int, vtype: int, value: bytes) -> None:
+        internal = (key, MAX_SEQ - seq)
+        if self._last_internal is not None and internal <= self._last_internal:
+            raise ValueError("entries must be added in strict internal-key order")
+        self._last_internal = internal
+        self._current.append((key, seq, vtype, value))
+        self._current_bytes += entry_disk_size(key, value)
+        self._keys.append(key)
+        self._entry_count += 1
+        if self._current_bytes >= self.block_target:
+            self._finish_block()
+
+    def _finish_block(self) -> None:
+        if self._current:
+            self._blocks.append(Block(self._current, self._current_bytes))
+            self._current = []
+            self._current_bytes = 0
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    @property
+    def estimated_size(self) -> int:
+        return sum(b.nbytes for b in self._blocks) + self._current_bytes
+
+    @property
+    def empty(self) -> bool:
+        return self._entry_count == 0
+
+    def finish(self) -> SSTable:
+        self._finish_block()
+        if not self._blocks:
+            raise ValueError("cannot finish an empty SSTable")
+        bloom = BloomFilter.from_keys(set(self._keys), self.bits_per_key)
+        return SSTable(self.number, self._blocks, bloom, self._entry_count)

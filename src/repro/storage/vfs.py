@@ -1,0 +1,161 @@
+"""Virtual file system with honest crash semantics.
+
+A :class:`DiskImage` is the state that survives a simulated process crash:
+append-only files (WAL segments, manifests, transaction logs) and opaque
+blobs (SSTables).  Data written to a file is *buffered* until flushed to the
+device; :meth:`DiskImage.crash` drops every unflushed byte and every
+uncommitted blob, exactly like powering off a machine whose page cache held
+unsynced data.
+
+The paper's RocksDB configuration runs with async logging (no fsync per
+write), so WAL flushes here happen when the in-memory log buffer reaches a
+threshold — that is what makes small-KV writes CPU-bound rather than
+IO-bound (paper Section 3.1), and it is also why a crash can lose the WAL
+tail, which the recovery tests exercise.
+"""
+
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.device import StorageDevice
+
+__all__ = ["DiskImage", "VirtualFile"]
+
+
+class VirtualFile:
+    """An append-only file: durable prefix + buffered (volatile) tail."""
+
+    def __init__(self, disk: "DiskImage", path: str):
+        self.disk = disk
+        self.path = path
+        self.content = bytearray()
+        self.flushed_len = 0  # bytes durable on the device
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self.content) - self.flushed_len
+
+    def append(self, data: bytes) -> None:
+        """Buffered append: no device IO yet (caller charges encode CPU)."""
+        self.content.extend(data)
+
+    def flush(self, category: str = "wal") -> Generator:
+        """Write buffered bytes to the device; yields until the IO completes."""
+        target = len(self.content)
+        pending = target - self.flushed_len
+        if pending > 0:
+            yield self.disk.device.write(pending, category=category)
+            # Another flusher may have advanced flushed_len meanwhile.
+            if target > self.flushed_len:
+                self.flushed_len = target
+
+    def read(
+        self, offset: int, size: int, category: str = "read", random: bool = True
+    ) -> Generator:
+        """Read ``size`` bytes at ``offset``, charging a device read."""
+        data = bytes(self.content[offset : offset + size])
+        if data:
+            yield self.disk.device.read(len(data), category=category, random=random)
+        return data
+
+    def read_all(self, category: str = "read") -> Generator:
+        """Read the entire durable + buffered content (used by recovery)."""
+        data = bytes(self.content)
+        if data:
+            yield self.disk.device.read(len(data), category=category, random=False)
+        return data
+
+    def durable_content(self) -> bytes:
+        """What would survive a crash right now."""
+        return bytes(self.content[: self.flushed_len])
+
+    def _crash(self) -> None:
+        del self.content[self.flushed_len :]
+
+
+class DiskImage:
+    """All state on one simulated disk; survives process crashes.
+
+    Files hold byte streams with buffered/durable tracking.  Blobs hold
+    opaque Python objects (SSTable data) with a recorded on-disk size; a blob
+    becomes durable only once :meth:`commit_blob` is called (after its device
+    write), mirroring create-write-sync-rename SST creation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: StorageDevice,
+        page_cache_bytes: int = 1 << 40,
+    ):
+        from repro.storage.block_cache import BlockCache
+
+        self.sim = sim
+        self.device = device
+        self.files: Dict[str, VirtualFile] = {}
+        self._blobs: Dict[str, Tuple[Any, int, bool]] = {}
+        self.crash_count = 0
+        #: the OS page cache: buffered SST reads hit here at RAM speed.
+        #: Default capacity models the paper's 64 GB machine (dataset fits);
+        #: shrink it to force cold device reads.
+        self.page_cache = BlockCache(page_cache_bytes)
+
+    # -- files ------------------------------------------------------------
+
+    def open_file(self, path: str, create: bool = True) -> VirtualFile:
+        f = self.files.get(path)
+        if f is None:
+            if not create:
+                raise FileNotFoundError(path)
+            f = self.files[path] = VirtualFile(self, path)
+        return f
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def delete_file(self, path: str) -> None:
+        self.files.pop(path, None)
+
+    def list_files(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    # -- blobs (SSTables) ----------------------------------------------------
+
+    def put_blob(self, name: str, obj: Any, nbytes: int) -> None:
+        """Stage a blob; it is volatile until :meth:`commit_blob`."""
+        self._blobs[name] = (obj, nbytes, False)
+
+    def commit_blob(self, name: str) -> None:
+        obj, nbytes, _ = self._blobs[name]
+        self._blobs[name] = (obj, nbytes, True)
+
+    def get_blob(self, name: str) -> Any:
+        return self._blobs[name][0]
+
+    def blob_exists(self, name: str) -> bool:
+        return name in self._blobs and self._blobs[name][2]
+
+    def delete_blob(self, name: str) -> None:
+        self._blobs.pop(name, None)
+
+    def blob_bytes(self) -> int:
+        return sum(nbytes for _, nbytes, committed in self._blobs.values() if committed)
+
+    # -- crash -------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a process/machine crash: drop all volatile state."""
+        from repro.storage.block_cache import BlockCache
+
+        self.crash_count += 1
+        for f in self.files.values():
+            f._crash()
+        self._blobs = {
+            name: entry for name, entry in self._blobs.items() if entry[2]
+        }
+        # RAM contents (the OS page cache) do not survive a crash.
+        self.page_cache = BlockCache(self.page_cache.capacity_bytes)

@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.dbbench`` — db_bench-style micro-benchmark runner
+  over any system (rocksdb / leveldb / pebblesdb / multi / p2kvs / kvell /
+  wiredtiger) on a configurable simulated machine.
+* ``python -m repro.tools.ycsb`` — YCSB workload runner (Table 1 mixes).
+"""

@@ -1,0 +1,245 @@
+"""db_bench-style CLI over the simulated systems.
+
+Examples::
+
+    python -m repro.tools.dbbench --benchmarks fillrandom,readrandom \
+        --system p2kvs --workers 8 --threads 16 --num 20000
+
+    python -m repro.tools.dbbench --system rocksdb --device hdd \
+        --benchmarks fillseq,readseq --num 5000 --json results.json
+
+Mirrors the db_bench modes the paper uses (Section 5.1): fillseq,
+fillrandom, overwrite, readseq, readrandom, scan.  Prints one row per
+benchmark with QPS, latency percentiles, write amplification and device
+utilization; optionally dumps machine-readable JSON.
+"""
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import adapter_factory
+from repro.baselines.wiredtiger import wiredtiger_adapter_factory
+from repro.engine import make_env, pebblesdb_options, rocksdb_options
+from repro.engine.options import leveldb_options
+from repro.harness import (
+    KVellSystem,
+    MultiInstanceSystem,
+    P2KVSSystem,
+    SingleInstanceSystem,
+    WiredTigerSystem,
+    open_system,
+    preload,
+    run_closed_loop,
+)
+from repro.harness.report import format_qps, format_table
+from repro.sim.device import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO
+from repro.workloads import (
+    fillrandom,
+    fillseq,
+    overwrite,
+    readrandom,
+    readseq,
+    scans,
+    split_stream,
+)
+
+BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readseq", "readrandom", "scan")
+SYSTEMS = ("rocksdb", "leveldb", "pebblesdb", "multi", "p2kvs", "kvell", "wiredtiger")
+DEVICES = {"nvme": OPTANE_905P, "sata": SATA_860PRO, "hdd": HDD_WD100EFAX}
+
+#: benchmarks that need a preloaded dataset before the measured phase.
+NEEDS_PRELOAD = {"overwrite", "readseq", "readrandom", "scan"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.dbbench",
+        description="db_bench-style benchmarks on the simulated machine",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="fillrandom,readrandom",
+        help="comma-separated list from: %s" % ", ".join(BENCHMARKS),
+    )
+    parser.add_argument("--system", choices=SYSTEMS, default="rocksdb")
+    parser.add_argument("--num", type=int, default=10000, help="ops per benchmark")
+    parser.add_argument("--threads", type=int, default=8, help="user threads")
+    parser.add_argument("--workers", type=int, default=8, help="p2kvs/kvell/multi workers")
+    parser.add_argument("--value-size", type=int, default=112)
+    parser.add_argument("--scan-size", type=int, default=100)
+    parser.add_argument("--cores", type=int, default=44, help="simulated CPU cores")
+    parser.add_argument("--device", choices=sorted(DEVICES), default="nvme")
+    parser.add_argument(
+        "--page-cache-mb",
+        type=float,
+        default=None,
+        help="OS page cache size in MB (default: effectively unlimited)",
+    )
+    parser.add_argument("--no-obm", action="store_true", help="disable OBM (p2kvs)")
+    parser.add_argument(
+        "--async-window",
+        type=int,
+        default=0,
+        help="p2kvs asynchronous write window (0 = synchronous)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    return parser
+
+
+def _make_env(args):
+    page_cache = (
+        int(args.page_cache_mb * 1024 * 1024)
+        if args.page_cache_mb is not None
+        else 1 << 40
+    )
+    return make_env(
+        n_cores=args.cores,
+        device_spec=DEVICES[args.device],
+        page_cache_bytes=page_cache,
+    )
+
+
+def _scaled(maker):
+    return maker(
+        write_buffer_size=64 * 1024,
+        target_file_size=64 * 1024,
+        max_bytes_for_level_base=256 * 1024,
+    )
+
+
+def _build_system(env, args):
+    if args.system == "rocksdb":
+        return open_system(env, SingleInstanceSystem.open(env, _scaled(rocksdb_options)))
+    if args.system == "leveldb":
+        return open_system(env, SingleInstanceSystem.open(env, _scaled(leveldb_options)))
+    if args.system == "pebblesdb":
+        return open_system(
+            env,
+            SingleInstanceSystem.open(env, _scaled(pebblesdb_options), name="pebbles"),
+        )
+    if args.system == "multi":
+        return open_system(
+            env,
+            MultiInstanceSystem.open(
+                env, args.workers, lambda: _scaled(rocksdb_options)
+            ),
+        )
+    if args.system == "kvell":
+        return open_system(env, KVellSystem.open(env, n_workers=args.workers))
+    if args.system == "wiredtiger":
+        return open_system(env, WiredTigerSystem.open(env))
+    adapter = adapter_factory(
+        "rocksdb",
+        write_buffer_size=64 * 1024,
+        target_file_size=64 * 1024,
+        max_bytes_for_level_base=256 * 1024,
+    )
+    return open_system(
+        env,
+        P2KVSSystem.open(
+            env,
+            n_workers=args.workers,
+            adapter_open=adapter,
+            obm=not args.no_obm,
+            async_window=args.async_window,
+        ),
+    )
+
+
+def _ops_for(name: str, args):
+    n, size, seed = args.num, args.value_size, args.seed
+    if name == "fillseq":
+        return fillseq(n, size)
+    if name == "fillrandom":
+        return fillrandom(n, size, seed)
+    if name == "overwrite":
+        return overwrite(n, key_space=n, value_size=size, seed=seed)
+    if name == "readseq":
+        return readseq(n)
+    if name == "readrandom":
+        return readrandom(n, key_space=n, seed=seed)
+    if name == "scan":
+        return scans(max(1, n // args.scan_size), n, args.scan_size, seed)
+    raise SystemExit("unknown benchmark %r (choose from %s)" % (name, BENCHMARKS))
+
+
+def run_benchmark(name: str, args) -> dict:
+    env = _make_env(args)
+    system = _build_system(env, args)
+    if name in NEEDS_PRELOAD:
+        preload(env, system, fillrandom(args.num, args.value_size, args.seed), 8)
+    metrics = run_closed_loop(
+        env, system, split_stream(_ops_for(name, args), args.threads)
+    )
+    return {
+        "benchmark": name,
+        "system": system.name,
+        "threads": args.threads,
+        "ops": metrics.n_ops,
+        "qps": metrics.qps,
+        "avg_latency_us": metrics.avg_latency * 1e6,
+        "p99_latency_us": metrics.p99_latency * 1e6,
+        "write_amplification": metrics.write_amplification,
+        "bandwidth_utilization": metrics.bandwidth_utilization,
+        "cpu_cores_busy": metrics.cpu_utilization,
+        "simulated_seconds": metrics.elapsed,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    for name in names:
+        if name not in BENCHMARKS:
+            print("unknown benchmark %r" % name, file=sys.stderr)
+            return 2
+    results = [run_benchmark(name, args) for name in names]
+    rows = [
+        [
+            r["benchmark"],
+            format_qps(r["qps"]),
+            "%.1f" % r["avg_latency_us"],
+            "%.1f" % r["p99_latency_us"],
+            "%.2f" % r["write_amplification"],
+            "%.1f%%" % (100 * r["bandwidth_utilization"]),
+            "%.1f" % r["cpu_cores_busy"],
+        ]
+        for r in results
+    ]
+    print(
+        "system=%s threads=%d num=%d value=%dB device=%s cores=%d"
+        % (
+            args.system,
+            args.threads,
+            args.num,
+            args.value_size,
+            args.device,
+            args.cores,
+        )
+    )
+    print(
+        format_table(
+            [
+                "benchmark",
+                "throughput",
+                "avg us",
+                "p99 us",
+                "write amp",
+                "bw util",
+                "busy cores",
+            ],
+            rows,
+        )
+    )
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(results, f, indent=2)
+        print("wrote %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""YCSB CLI over the simulated systems.
+
+Examples::
+
+    python -m repro.tools.ycsb --workload A --system p2kvs --workers 8 \
+        --threads 32 --records 16000 --ops 10000
+
+    python -m repro.tools.ycsb --workload LOAD,A,B,C --system rocksdb \
+        --json ycsb.json
+
+Runs the paper's Table 1 mixes (LOAD, A-F) against any supported system and
+prints per-workload throughput and latency percentiles.
+"""
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness import preload, run_closed_loop
+from repro.harness.report import format_qps, format_table
+from repro.tools.dbbench import DEVICES, SYSTEMS, _build_system, _make_env
+from repro.workloads import WORKLOADS, YCSBWorkload
+
+WORKLOAD_NAMES = tuple(WORKLOADS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.ycsb",
+        description="YCSB workloads (paper Table 1) on the simulated machine",
+    )
+    parser.add_argument(
+        "--workload",
+        default="A",
+        help="comma-separated list from: %s" % ", ".join(WORKLOAD_NAMES),
+    )
+    parser.add_argument("--system", choices=SYSTEMS, default="rocksdb")
+    parser.add_argument("--records", type=int, default=16000)
+    parser.add_argument("--ops", type=int, default=10000)
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--value-size", type=int, default=112)
+    parser.add_argument("--cores", type=int, default=44)
+    parser.add_argument("--device", choices=sorted(DEVICES), default="nvme")
+    parser.add_argument("--page-cache-mb", type=float, default=None)
+    parser.add_argument("--no-obm", action="store_true")
+    parser.add_argument("--async-window", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH")
+    return parser
+
+
+def run_workload(name: str, args) -> dict:
+    env = _make_env(args)
+    system = _build_system(env, args)
+    workload = YCSBWorkload(
+        name, args.records, value_size=args.value_size, seed=args.seed
+    )
+    if name == "LOAD":
+        ops = list(workload.load_ops())[: args.ops]
+    else:
+        preload(env, system, workload.load_ops(), n_threads=8)
+        ops = list(workload.ops(args.ops))
+    streams = [[] for _ in range(args.threads)]
+    for i, op in enumerate(ops):
+        streams[i % args.threads].append(op)
+    metrics = run_closed_loop(env, system, streams)
+    return {
+        "workload": name,
+        "system": system.name,
+        "threads": args.threads,
+        "ops": metrics.n_ops,
+        "qps": metrics.qps,
+        "avg_latency_us": metrics.avg_latency * 1e6,
+        "p99_latency_us": metrics.p99_latency * 1e6,
+        "simulated_seconds": metrics.elapsed,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = [w.strip().upper() for w in args.workload.split(",") if w.strip()]
+    for name in names:
+        if name not in WORKLOAD_NAMES:
+            print("unknown workload %r" % name, file=sys.stderr)
+            return 2
+    results = [run_workload(name, args) for name in names]
+    rows = [
+        [
+            r["workload"],
+            format_qps(r["qps"]),
+            "%.1f" % r["avg_latency_us"],
+            "%.1f" % r["p99_latency_us"],
+        ]
+        for r in results
+    ]
+    print(
+        "system=%s threads=%d records=%d ops=%d"
+        % (args.system, args.threads, args.records, args.ops)
+    )
+    print(format_table(["workload", "throughput", "avg us", "p99 us"], rows))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(results, f, indent=2)
+        print("wrote %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

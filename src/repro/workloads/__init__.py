@@ -1,0 +1,44 @@
+"""Workload generation: YCSB (Table 1) and db_bench-style micro-benchmarks."""
+
+from repro.workloads.facebook import FacebookValueSizes, facebook_mixed_workload
+from repro.workloads.keygen import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    make_key,
+    make_value,
+)
+from repro.workloads.microbench import (
+    fillrandom,
+    fillseq,
+    overwrite,
+    readrandom,
+    readseq,
+    scans,
+    split_stream,
+)
+from repro.workloads.ycsb import WORKLOADS, WorkloadSpec, YCSBWorkload
+
+__all__ = [
+    "FacebookValueSizes",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "SequentialGenerator",
+    "UniformGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "YCSBWorkload",
+    "ZipfianGenerator",
+    "facebook_mixed_workload",
+    "fillrandom",
+    "fillseq",
+    "make_key",
+    "make_value",
+    "overwrite",
+    "readrandom",
+    "readseq",
+    "scans",
+    "split_stream",
+]

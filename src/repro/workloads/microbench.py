@@ -1,0 +1,76 @@
+"""db_bench-style micro-benchmark op streams.
+
+The paper's micro-benchmarks (Section 5.1) are the classic db_bench modes:
+sequential/random PUT, random UPDATE (overwrite), sequential/random GET,
+and SCAN.  Each function yields ``(verb, key, payload)`` ops compatible with
+the harness.
+"""
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.workloads.keygen import make_key, make_value
+
+__all__ = [
+    "fillrandom",
+    "fillseq",
+    "overwrite",
+    "readrandom",
+    "readseq",
+    "scans",
+]
+
+Op = Tuple[str, bytes, object]
+
+
+def fillseq(n_ops: int, value_size: int = 112) -> Iterator[Op]:
+    """Sequential PUT of fresh keys."""
+    for i in range(n_ops):
+        yield "insert", make_key(i), make_value(i, value_size)
+
+
+def fillrandom(n_ops: int, value_size: int = 112, seed: int = 0) -> Iterator[Op]:
+    """Random-order PUT of fresh keys (a permutation, like db_bench)."""
+    rng = random.Random(seed)
+    ids = list(range(n_ops))
+    rng.shuffle(ids)
+    for i in ids:
+        yield "insert", make_key(i), make_value(i, value_size)
+
+
+def overwrite(
+    n_ops: int, key_space: int, value_size: int = 112, seed: int = 0
+) -> Iterator[Op]:
+    """Random UPDATE over an existing key space."""
+    rng = random.Random(seed)
+    for _ in range(n_ops):
+        i = rng.randrange(key_space)
+        yield "update", make_key(i), make_value(i + 1, value_size)
+
+
+def readrandom(n_ops: int, key_space: int, seed: int = 0) -> Iterator[Op]:
+    rng = random.Random(seed)
+    for _ in range(n_ops):
+        yield "read", make_key(rng.randrange(key_space)), None
+
+
+def readseq(n_ops: int, start: int = 0) -> Iterator[Op]:
+    for i in range(start, start + n_ops):
+        yield "read", make_key(i), None
+
+
+def scans(
+    n_ops: int, key_space: int, scan_size: int, seed: int = 0
+) -> Iterator[Op]:
+    rng = random.Random(seed)
+    for _ in range(n_ops):
+        begin = rng.randrange(max(1, key_space - scan_size))
+        yield "scan", make_key(begin), scan_size
+
+
+def split_stream(ops: Iterator[Op], n_threads: int) -> List[List[Op]]:
+    """Round-robin an op stream over closed-loop threads."""
+    streams: List[List[Op]] = [[] for _ in range(n_threads)]
+    for i, op in enumerate(ops):
+        streams[i % n_threads].append(op)
+    return streams

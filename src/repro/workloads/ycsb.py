@@ -1,0 +1,157 @@
+"""YCSB workload generator (paper Table 1).
+
+=========  =======================  ============  =============
+Workload   Request ratio            Distribution  Paper count
+=========  =======================  ============  =============
+LOAD       100% PUT                 uniform        670M
+A          50% UPDATE / 50% GET     zipfian        120M
+B          5% UPDATE / 95% GET      zipfian        120M
+C          100% GET                 zipfian        120M
+D          5% PUT / 95% GET         latest         120M
+E          5% PUT / 95% SCAN        uniform        20M
+F          50% RMW / 50% GET        zipfian        120M
+=========  =======================  ============  =============
+
+An op is a tuple ``(verb, key, payload)`` with verbs ``"insert"``,
+``"update"``, ``"read"``, ``"scan"`` (payload = scan length) and ``"rmw"``.
+Counts here are scaled down; the mixes and skews are the paper's.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.workloads.keygen import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    UniformGenerator,
+    make_key,
+    make_value,
+)
+
+__all__ = ["WORKLOADS", "WorkloadSpec", "YCSBWorkload", "Op"]
+
+Op = Tuple[str, bytes, object]
+
+MAX_SCAN_LENGTH = 100
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str
+    read_ratio: float = 0.0
+    update_ratio: float = 0.0
+    insert_ratio: float = 0.0
+    scan_ratio: float = 0.0
+    rmw_ratio: float = 0.0
+    distribution: str = "zipfian"  # "uniform" | "zipfian" | "latest"
+
+    def __post_init__(self):
+        total = (
+            self.read_ratio
+            + self.update_ratio
+            + self.insert_ratio
+            + self.scan_ratio
+            + self.rmw_ratio
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("ratios of %s must sum to 1" % self.name)
+
+
+WORKLOADS = {
+    "LOAD": WorkloadSpec("LOAD", insert_ratio=1.0, distribution="uniform"),
+    "A": WorkloadSpec("A", read_ratio=0.5, update_ratio=0.5),
+    "B": WorkloadSpec("B", read_ratio=0.95, update_ratio=0.05),
+    "C": WorkloadSpec("C", read_ratio=1.0),
+    "D": WorkloadSpec("D", read_ratio=0.95, insert_ratio=0.05, distribution="latest"),
+    "E": WorkloadSpec("E", scan_ratio=0.95, insert_ratio=0.05, distribution="uniform"),
+    "F": WorkloadSpec("F", read_ratio=0.5, rmw_ratio=0.5),
+}
+
+
+class YCSBWorkload:
+    """Generates the preload set and the op stream for one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        record_count: int,
+        value_size: int = 112,
+        seed: int = 0,
+    ):
+        if isinstance(spec, str):
+            spec = WORKLOADS[spec]
+        self.spec = spec
+        self.record_count = max(1, record_count)
+        self.value_size = value_size
+        self.seed = seed
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._insert_seq = SequentialGenerator(start=self.record_count)
+        self._chooser = self._make_chooser()
+
+    def _make_chooser(self):
+        dist = self.spec.distribution
+        if dist == "uniform":
+            return UniformGenerator(self.record_count, self.seed)
+        if dist == "zipfian":
+            return ScrambledZipfianGenerator(self.record_count, self.seed)
+        if dist == "latest":
+            return LatestGenerator(self.record_count, self.seed)
+        raise ValueError("unknown distribution %r" % dist)
+
+    # -- preload -------------------------------------------------------------
+
+    def load_ops(self) -> Iterator[Op]:
+        """The LOAD phase: insert every record once."""
+        for i in range(self.record_count):
+            yield "insert", make_key(i), make_value(i, self.value_size)
+
+    # -- run phase -------------------------------------------------------------
+
+    def ops(self, n_ops: int) -> Iterator[Op]:
+        spec = self.spec
+        thresholds = [
+            (spec.read_ratio, "read"),
+            (spec.update_ratio, "update"),
+            (spec.insert_ratio, "insert"),
+            (spec.scan_ratio, "scan"),
+            (spec.rmw_ratio, "rmw"),
+        ]
+        for _ in range(n_ops):
+            r = self._rng.random()
+            verb = "read"
+            acc = 0.0
+            for ratio, name in thresholds:
+                acc += ratio
+                if r < acc:
+                    verb = name
+                    break
+            if verb == "insert":
+                new_id = self._insert_seq.next_id()
+                if isinstance(self._chooser, LatestGenerator):
+                    new_id = self._chooser.advance()
+                yield "insert", make_key(new_id), make_value(new_id, self.value_size)
+            elif verb == "scan":
+                key_id = self._chooser.next_id()
+                length = self._rng.randint(1, MAX_SCAN_LENGTH)
+                yield "scan", make_key(key_id), length
+            else:
+                key_id = self._chooser.next_id()
+                if verb == "update":
+                    yield "update", make_key(key_id), make_value(
+                        key_id, self.value_size
+                    )
+                elif verb == "rmw":
+                    yield "rmw", make_key(key_id), make_value(
+                        key_id, self.value_size
+                    )
+                else:
+                    yield "read", make_key(key_id), None
+
+    def split(self, n_ops: int, n_threads: int) -> List[List[Op]]:
+        """Partition an op stream round-robin across closed-loop threads."""
+        streams: List[List[Op]] = [[] for _ in range(n_threads)]
+        for i, op in enumerate(self.ops(n_ops)):
+            streams[i % n_threads].append(op)
+        return streams

@@ -1,0 +1,31 @@
+"""Shared helpers for driving simulated processes in tests."""
+
+import pytest
+
+from repro.engine.env import make_env
+
+
+def run_process(env, gen):
+    """Run one generator process to completion; return its result."""
+    box = []
+
+    def wrapper():
+        value = yield from gen
+        box.append(value)
+
+    env.sim.spawn(wrapper())
+    env.sim.run()
+    if not box:
+        raise AssertionError("process did not complete")
+    return box[0]
+
+
+@pytest.fixture
+def env():
+    return make_env(n_cores=8)
+
+
+@pytest.fixture
+def small_env():
+    """A tiny machine for contention-sensitive tests."""
+    return make_env(n_cores=2)

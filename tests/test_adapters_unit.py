@@ -1,0 +1,165 @@
+"""Unit tests for the portability adapter layer."""
+
+import pytest
+
+from repro.core.adapters import EngineAdapter, adapter_factory, open_lsm_adapter
+from repro.engine import WriteBatch, leveldb_options, rocksdb_options
+from tests.conftest import run_process
+
+
+def key(i):
+    return b"user%08d" % i
+
+
+def open_adapter(env, options=None, name="db"):
+    return run_process(env, open_lsm_adapter(env, name, options))
+
+
+class TestCapabilities:
+    def test_rocksdb_capabilities(self, env):
+        adapter = open_adapter(env, rocksdb_options())
+        assert adapter.supports_batch_write
+        assert adapter.supports_multiget
+        assert adapter.supports_snapshots
+
+    def test_leveldb_capabilities(self, env):
+        adapter = open_adapter(env, leveldb_options())
+        assert adapter.supports_batch_write
+        assert not adapter.supports_multiget
+
+    def test_factory_rejects_unknown_flavor(self):
+        with pytest.raises(ValueError):
+            adapter_factory("berkeleydb")
+
+
+class TestOperations:
+    def test_write_and_get(self, env):
+        adapter = open_adapter(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from adapter.write(ctx, WriteBatch().put(b"k", b"v"))
+            return (yield from adapter.get(ctx, b"k"))
+
+        assert run_process(env, work()) == b"v"
+
+    def test_multiget_native_vs_fallback_same_results(self, env):
+        native = open_adapter(env, rocksdb_options(), name="native")
+        fallback = open_adapter(env, leveldb_options(), name="fallback")
+        ctx = env.cpu.new_thread("u")
+
+        def load(adapter):
+            def gen():
+                for i in range(20):
+                    yield from adapter.put(ctx, key(i), b"v%d" % i)
+
+            run_process(env, gen())
+
+        load(native)
+        load(fallback)
+        keys = [key(3), b"missing", key(7)]
+
+        def query(adapter):
+            def gen():
+                return (yield from adapter.multiget(ctx, keys))
+
+            return run_process(env, gen())
+
+        assert query(native) == query(fallback) == [b"v3", None, b"v7"]
+
+    def test_multiget_with_snapshot(self, env):
+        adapter = open_adapter(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from adapter.put(ctx, b"k", b"v1")
+            snap = adapter.snapshot()
+            yield from adapter.put(ctx, b"k", b"v2")
+            old = yield from adapter.multiget(ctx, [b"k"], snapshot_seq=snap)
+            new = yield from adapter.multiget(ctx, [b"k"])
+            adapter.release_snapshot(snap)
+            return old, new
+
+        assert run_process(env, work()) == ([b"v1"], [b"v2"])
+
+    def test_concurrent_gets_overlap_io(self, env):
+        """The fallback path must overlap lookups, not serialize them."""
+        adapter = open_adapter(env, leveldb_options(block_cache_bytes=1024))
+        ctx = env.cpu.new_thread("u")
+
+        def load():
+            for i in range(64):
+                yield from adapter.put(ctx, key(i), b"v" * 100)
+            yield from adapter.engine.flush(ctx)
+
+        run_process(env, load())
+        # Force cold reads so IO time matters.
+        env.disk.page_cache = type(env.disk.page_cache)(0)
+
+        def serial():
+            start = env.sim.now
+            for i in range(8):
+                yield from adapter.get(ctx, key(i * 7))
+            return env.sim.now - start
+
+        def batched():
+            start = env.sim.now
+            yield from adapter.concurrent_gets(ctx, [key(i * 7) for i in range(8)])
+            return env.sim.now - start
+
+        t_serial = run_process(env, serial())
+        t_batched = run_process(env, batched())
+        assert t_batched < t_serial
+
+    def test_scan_and_range(self, env):
+        adapter = open_adapter(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(30):
+                yield from adapter.put(ctx, key(i), b"v%d" % i)
+            s = yield from adapter.scan(ctx, key(5), 3)
+            r = yield from adapter.range_query(ctx, key(10), key(11))
+            return s, r
+
+        s, r = run_process(env, work())
+        assert [k for k, _ in s] == [key(5), key(6), key(7)]
+        assert [k for k, _ in r] == [key(10), key(11)]
+
+    def test_counters_and_memory_exposed(self, env):
+        adapter = open_adapter(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from adapter.put(ctx, b"k", b"v")
+
+        run_process(env, work())
+        assert adapter.counters.get("records_written") == 1
+        assert adapter.memory_bytes() > 0
+
+    def test_record_filter_passed_through_factory(self, env):
+        from repro.storage.wal import RECORD_TXN
+
+        factory = adapter_factory("rocksdb")
+        adapter = run_process(env, factory(env, "db", None))
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from adapter.write(
+                ctx, WriteBatch().put(b"t", b"1"), gsn=9, rtype=RECORD_TXN
+            )
+            yield from adapter.close()
+
+        run_process(env, work())
+        env.disk.crash()
+
+        def drop_all_txn(rtype, gsn):
+            return rtype != RECORD_TXN
+
+        adapter2 = run_process(env, factory(env, "db", drop_all_txn))
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            return (yield from adapter2.get(ctx2, b"t"))
+
+        assert run_process(env, check()) is None

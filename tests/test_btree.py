@@ -1,0 +1,100 @@
+"""Tests (incl. property-based) for the B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBPlusTree:
+    def test_insert_get(self):
+        t = BPlusTree(order=4)
+        assert t.insert(5, "five")
+        assert t.get(5) == "five"
+        assert t.get(6) is None
+        assert t.get(6, "default") == "default"
+
+    def test_overwrite_returns_false(self):
+        t = BPlusTree(order=4)
+        assert t.insert(1, "a")
+        assert not t.insert(1, "b")
+        assert t.get(1) == "b"
+        assert len(t) == 1
+
+    def test_splits_grow_height(self):
+        t = BPlusTree(order=4)
+        for i in range(100):
+            t.insert(i, i)
+        assert t.height > 1
+        assert len(t) == 100
+        assert all(t.get(i) == i for i in range(100))
+
+    def test_contains(self):
+        t = BPlusTree(order=4)
+        t.insert(1, None)  # value None is still present
+        assert 1 in t
+        assert 2 not in t
+
+    def test_iteration_sorted(self):
+        t = BPlusTree(order=4)
+        import random
+
+        rng = random.Random(3)
+        keys = list(range(200))
+        rng.shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        assert [k for k, _ in t] == list(range(200))
+
+    def test_items_from(self):
+        t = BPlusTree(order=4)
+        for i in range(0, 100, 2):
+            t.insert(i, i)
+        assert [k for k, _ in t.items_from(51)][:3] == [52, 54, 56]
+
+    def test_range(self):
+        t = BPlusTree(order=4)
+        for i in range(50):
+            t.insert(i, i)
+        assert [k for k, _ in t.range(10, 15)] == [10, 11, 12, 13, 14, 15]
+
+    def test_delete(self):
+        t = BPlusTree(order=4)
+        for i in range(50):
+            t.insert(i, i)
+        assert t.delete(25)
+        assert not t.delete(25)
+        assert t.get(25) is None
+        assert len(t) == 49
+        assert 25 not in [k for k, _ in t]
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_memory_estimate_scales_with_size(self):
+        t = BPlusTree()
+        for i in range(1000):
+            t.insert(i, i)
+        assert t.memory_bytes() > 1000 * 48
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 500), st.integers(), st.booleans()),
+            max_size=400,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_model(self, ops):
+        t = BPlusTree(order=6)
+        model = {}
+        for key, value, is_delete in ops:
+            if is_delete:
+                assert t.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                t.insert(key, value)
+                model[key] = value
+        assert len(t) == len(model)
+        assert list(t) == sorted(model.items())

@@ -1,0 +1,82 @@
+"""Device-preset behavioural tests: the HDD/SATA/NVMe models must order
+themselves the way the paper's Figure 1 hardware does."""
+
+import pytest
+
+from repro.sim import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO, Simulator, StorageDevice
+
+
+def one_io_time(spec, kind, nbytes, random):
+    sim = Simulator()
+    device = StorageDevice(sim, spec)
+    done = []
+
+    def proc():
+        yield device.submit(kind, nbytes, random=random)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    return done[0]
+
+
+class TestPresetOrdering:
+    def test_random_read_latency_ordering(self):
+        hdd = one_io_time(HDD_WD100EFAX, "read", 4096, random=True)
+        sata = one_io_time(SATA_860PRO, "read", 4096, random=True)
+        nvme = one_io_time(OPTANE_905P, "read", 4096, random=True)
+        assert hdd > sata > nvme
+        # The paper's ~2 orders of magnitude random-IO gap.
+        assert hdd / nvme > 100
+
+    def test_sequential_write_bandwidth_ordering(self):
+        mb = 1 << 20
+        hdd = one_io_time(HDD_WD100EFAX, "write", 8 * mb, random=False)
+        sata = one_io_time(SATA_860PRO, "write", 8 * mb, random=False)
+        nvme = one_io_time(OPTANE_905P, "write", 8 * mb, random=False)
+        assert hdd > sata > nvme
+        # Sequential gap is ~1 order of magnitude, not 2 (paper Section 3.1).
+        assert 5 < hdd / nvme < 40
+
+    def test_hdd_sequential_vs_random(self):
+        seq = one_io_time(HDD_WD100EFAX, "read", 4096, random=False)
+        rnd = one_io_time(HDD_WD100EFAX, "read", 4096, random=True)
+        assert rnd / seq > 5  # seek dominates
+
+    def test_nvme_random_penalty_negligible(self):
+        seq = one_io_time(OPTANE_905P, "read", 4096, random=False)
+        rnd = one_io_time(OPTANE_905P, "read", 4096, random=True)
+        assert rnd == pytest.approx(seq)
+
+    def test_nvme_4k_iops_in_spec_ballpark(self):
+        """Optane 905p is rated ~575K 4K random-read IOPS; the model's
+        channel-parallel setup phase should land within 2x of that."""
+        sim = Simulator()
+        device = StorageDevice(sim, OPTANE_905P)
+        n_ios = 2000
+        done = []
+
+        def proc():
+            yield device.read(4096, random=True)
+            done.append(1)
+
+        for _ in range(n_ios):
+            sim.spawn(proc())
+        sim.run()
+        iops = n_ios / sim.now
+        assert 250e3 < iops < 1.2e6
+
+    def test_aggregate_write_bandwidth_honors_spec(self):
+        sim = Simulator()
+        device = StorageDevice(sim, OPTANE_905P)
+        total = 64 * (1 << 20)
+
+        def proc():
+            yield device.write(total // 16, random=False)
+
+        for _ in range(16):
+            sim.spawn(proc())
+        sim.run()
+        achieved = total / sim.now
+        assert achieved <= OPTANE_905P.write_bandwidth * 1.001
+        assert achieved >= OPTANE_905P.write_bandwidth * 0.8

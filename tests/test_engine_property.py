@@ -1,0 +1,113 @@
+"""Property-based tests: the engine must behave like a dict under any op mix,
+including across flush/compaction and crash-recovery boundaries."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import LSMEngine, rocksdb_options
+from repro.engine.env import make_env
+from tests.conftest import run_process
+
+KEYS = [b"key%04d" % i for i in range(40)]
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS), st.binary(min_size=1, max_size=32)),
+        st.tuples(st.just("delete"), st.sampled_from(KEYS), st.just(b"")),
+    ),
+    max_size=120,
+)
+
+# A tiny LSM shape so even short op sequences cross flush/compaction edges.
+TINY = dict(
+    write_buffer_size=512,
+    target_file_size=512,
+    max_bytes_for_level_base=2048,
+    l0_compaction_trigger=2,
+)
+
+
+def apply_ops(env, engine, ctx, ops, model):
+    def work():
+        for op, key, value in ops:
+            if op == "put":
+                yield from engine.put(ctx, key, value)
+                model[key] = value
+            else:
+                yield from engine.delete(ctx, key)
+                model.pop(key, None)
+
+    run_process(env, work())
+
+
+def check_model(env, engine, ctx, model):
+    def verify():
+        for key in KEYS:
+            got = yield from engine.get(ctx, key)
+            assert got == model.get(key), (key, got, model.get(key))
+        return True
+
+    assert run_process(env, verify())
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_matches_dict_model(ops):
+    env = make_env(n_cores=4)
+    engine = run_process(env, LSMEngine.open(env, "db", rocksdb_options(**TINY)))
+    ctx = env.cpu.new_thread("u")
+    model = {}
+    apply_ops(env, engine, ctx, ops, model)
+    check_model(env, engine, ctx, model)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_matches_dict_model_after_crash_with_close(ops):
+    """With a clean close (WAL synced), recovery must restore the full model."""
+    env = make_env(n_cores=4)
+    engine = run_process(env, LSMEngine.open(env, "db", rocksdb_options(**TINY)))
+    ctx = env.cpu.new_thread("u")
+    model = {}
+    apply_ops(env, engine, ctx, ops, model)
+    run_process(env, engine.close())
+    env.disk.crash()
+    engine2 = run_process(env, LSMEngine.open(env, "db", rocksdb_options(**TINY)))
+    ctx2 = env.cpu.new_thread("u2")
+    check_model(env, engine2, ctx2, model)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_crash_without_sync_loses_only_a_suffix(ops):
+    """Async logging may lose recent writes but never corrupts or reorders:
+    the recovered state must equal the model of some *prefix* of the ops."""
+    env = make_env(n_cores=4)
+    engine = run_process(env, LSMEngine.open(env, "db", rocksdb_options(**TINY)))
+    ctx = env.cpu.new_thread("u")
+    apply_ops(env, engine, ctx, ops, {})
+    env.disk.crash()
+    engine2 = run_process(env, LSMEngine.open(env, "db", rocksdb_options(**TINY)))
+    ctx2 = env.cpu.new_thread("u2")
+
+    # Build the set of states reachable from prefixes of the op sequence.
+    prefix_states = []
+    model = {}
+    prefix_states.append(dict(model))
+    for op, key, value in ops:
+        if op == "put":
+            model[key] = value
+        else:
+            model.pop(key, None)
+        prefix_states.append(dict(model))
+
+    def read_state():
+        state = {}
+        for key in KEYS:
+            got = yield from engine2.get(ctx2, key)
+            if got is not None:
+                state[key] = got
+        return state
+
+    recovered = run_process(env, read_state())
+    assert recovered in prefix_states

@@ -1,0 +1,201 @@
+"""Crash-recovery tests: WAL replay, manifest rebuild, lost unsynced tails."""
+
+from repro.engine import LSMEngine, WriteBatch, rocksdb_options
+from repro.storage.wal import RECORD_TXN
+from tests.conftest import run_process
+
+
+def key(i):
+    return b"key%08d" % i
+
+
+def value(i):
+    return b"value%08d" % i
+
+
+def open_engine(env, name="db", options=None, record_filter=None):
+    return run_process(env, LSMEngine.open(env, name, options, record_filter))
+
+
+class TestRecovery:
+    def test_synced_writes_survive_crash(self, env):
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(50):
+                yield from engine.put(ctx, key(i), value(i))
+            yield from engine.log_writer.flush("wal")  # make the WAL durable
+
+        run_process(env, work())
+        env.disk.crash()
+        engine2 = open_engine(env)
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            out = []
+            for i in (0, 25, 49):
+                out.append((yield from engine2.get(ctx2, key(i))))
+            return out
+
+        assert run_process(env, check()) == [value(0), value(25), value(49)]
+
+    def test_unsynced_tail_lost_on_crash(self, env):
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from engine.put(ctx, b"durable", b"yes")
+            yield from engine.log_writer.flush("wal")
+            yield from engine.put(ctx, b"volatile", b"gone")
+            # No flush: this record sits in the buffered WAL tail.
+
+        run_process(env, work())
+        env.disk.crash()
+        engine2 = open_engine(env)
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            a = yield from engine2.get(ctx2, b"durable")
+            b = yield from engine2.get(ctx2, b"volatile")
+            return a, b
+
+        assert run_process(env, check()) == (b"yes", None)
+
+    def test_flushed_sstables_survive_without_wal(self, env):
+        options = rocksdb_options(write_buffer_size=2048)
+        engine = open_engine(env, options=options)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(500):
+                yield from engine.put(ctx, key(i), value(i))
+
+        run_process(env, work())
+        assert engine.counters.get("flushes") > 0
+        env.disk.crash()
+        engine2 = open_engine(env, options=options)
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            # Early keys were flushed into SSTables; they must survive even
+            # though their WAL segments were deleted after the flush.
+            return (yield from engine2.get(ctx2, key(0)))
+
+        assert run_process(env, check()) == value(0)
+
+    def test_close_makes_everything_durable(self, env):
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(20):
+                yield from engine.put(ctx, key(i), value(i))
+            yield from engine.close()
+
+        run_process(env, work())
+        env.disk.crash()
+        engine2 = open_engine(env)
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            out = []
+            for i in range(20):
+                out.append((yield from engine2.get(ctx2, key(i))))
+            return out
+
+        assert run_process(env, check()) == [value(i) for i in range(20)]
+
+    def test_deletes_survive_recovery(self, env):
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from engine.put(ctx, b"k", b"v")
+            yield from engine.delete(ctx, b"k")
+            yield from engine.close()
+
+        run_process(env, work())
+        env.disk.crash()
+        engine2 = open_engine(env)
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            return (yield from engine2.get(ctx2, b"k"))
+
+        assert run_process(env, check()) is None
+
+    def test_double_crash_recovery(self, env):
+        """Recovery itself must leave a recoverable image."""
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(30):
+                yield from engine.put(ctx, key(i), value(i))
+            yield from engine.close()
+
+        run_process(env, work())
+        env.disk.crash()
+        open_engine(env)  # first recovery re-logs the memtable
+        env.disk.crash()
+        engine3 = open_engine(env)
+        ctx3 = env.cpu.new_thread("u3")
+
+        def check():
+            return (yield from engine3.get(ctx3, key(29)))
+
+        assert run_process(env, check()) == value(29)
+
+    def test_record_filter_drops_uncommitted_txn_records(self, env):
+        """The hook p2KVS's GSN rollback uses (paper Section 4.5)."""
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from engine.write(
+                ctx, WriteBatch().put(b"committed", b"1"), gsn=1, rtype=RECORD_TXN
+            )
+            yield from engine.write(
+                ctx, WriteBatch().put(b"uncommitted", b"2"), gsn=2, rtype=RECORD_TXN
+            )
+            yield from engine.close()
+
+        run_process(env, work())
+        env.disk.crash()
+
+        committed_gsns = {1}
+
+        def keep(rtype, gsn):
+            return rtype != RECORD_TXN or gsn in committed_gsns
+
+        engine2 = open_engine(env, record_filter=keep)
+        ctx2 = env.cpu.new_thread("u2")
+
+        def check():
+            a = yield from engine2.get(ctx2, b"committed")
+            b = yield from engine2.get(ctx2, b"uncommitted")
+            return a, b
+
+        assert run_process(env, check()) == (b"1", None)
+
+    def test_seq_resumes_after_recovery(self, env):
+        engine = open_engine(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(10):
+                yield from engine.put(ctx, key(i), value(i))
+            yield from engine.close()
+
+        run_process(env, work())
+        env.disk.crash()
+        engine2 = open_engine(env)
+        assert engine2.seq >= 10
+        ctx2 = env.cpu.new_thread("u2")
+
+        def more():
+            yield from engine2.put(ctx2, key(0), b"newer")
+            return (yield from engine2.get(ctx2, key(0)))
+
+        assert run_process(env, more()) == b"newer"

@@ -1,0 +1,41 @@
+"""Smoke tests: the runnable examples must keep working end-to-end.
+
+Only the fast examples run here (the YCSB shoot-out and the full bottleneck
+sweep live in the benchmark tier); each example asserts its own invariants
+internally, so a clean exit is a meaningful check.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/crash_recovery.py",
+    "examples/transactions_and_scaling.py",
+    "examples/device_timeline.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs_clean(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "GET user:1          -> b'alice'" in out
+    assert "async writes completed: 1000 of 1000" in out
+    assert "simulated write throughput" in out
+
+
+def test_crash_recovery_output_content(capsys):
+    runpy.run_path("examples/crash_recovery.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Tx A intact:       True" in out
+    assert "Tx B rolled back:  True" in out
+    assert "Tx C rolled back:  True" in out

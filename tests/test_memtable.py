@@ -1,0 +1,139 @@
+"""Tests (incl. property-based) for the skiplist and MemTable."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.memtable import (
+    DELETED,
+    FOUND,
+    NOT_FOUND,
+    MemTable,
+    SkipList,
+    VTYPE_DELETE,
+    VTYPE_VALUE,
+)
+
+
+class TestSkipList:
+    def test_insert_and_get(self):
+        sl = SkipList()
+        sl.insert(5, "five")
+        sl.insert(1, "one")
+        sl.insert(3, "three")
+        assert sl.get(3) == "three"
+        assert sl.get(2) is None
+        assert len(sl) == 3
+
+    def test_iteration_is_sorted(self):
+        sl = SkipList()
+        for k in [9, 2, 7, 4, 1, 8]:
+            sl.insert(k, str(k))
+        assert [k for k, _ in sl] == [1, 2, 4, 7, 8, 9]
+
+    def test_iter_from_midpoint(self):
+        sl = SkipList()
+        for k in range(0, 20, 2):
+            sl.insert(k, k)
+        assert [k for k, _ in sl.iter_from(7)] == [8, 10, 12, 14, 16, 18]
+
+    def test_deterministic_given_seed(self):
+        a, b = SkipList(seed=7), SkipList(seed=7)
+        for k in range(100):
+            a.insert(k, k)
+            b.insert(k, k)
+        assert list(a) == list(b)
+
+    @given(st.lists(st.integers(0, 10000), unique=True))
+    @settings(max_examples=50)
+    def test_matches_sorted_dict_model(self, keys):
+        sl = SkipList(seed=1)
+        model = {}
+        for k in keys:
+            sl.insert(k, k * 2)
+            model[k] = k * 2
+        assert list(sl) == sorted(model.items())
+        for k in keys[:20]:
+            assert sl.get(k) == model[k]
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.add(1, VTYPE_VALUE, b"k1", b"v1")
+        state, value = mt.get(b"k1")
+        assert (state, value) == (FOUND, b"v1")
+        assert mt.get(b"missing") == (NOT_FOUND, None)
+
+    def test_newest_version_wins(self):
+        mt = MemTable()
+        mt.add(1, VTYPE_VALUE, b"k", b"old")
+        mt.add(2, VTYPE_VALUE, b"k", b"new")
+        assert mt.get(b"k") == (FOUND, b"new")
+
+    def test_tombstone_shadows_value(self):
+        mt = MemTable()
+        mt.add(1, VTYPE_VALUE, b"k", b"v")
+        mt.add(2, VTYPE_DELETE, b"k", b"")
+        assert mt.get(b"k") == (DELETED, None)
+
+    def test_snapshot_reads_see_old_versions(self):
+        mt = MemTable()
+        mt.add(1, VTYPE_VALUE, b"k", b"v1")
+        mt.add(5, VTYPE_VALUE, b"k", b"v5")
+        assert mt.get(b"k", snapshot_seq=3) == (FOUND, b"v1")
+        assert mt.get(b"k", snapshot_seq=5) == (FOUND, b"v5")
+
+    def test_snapshot_before_any_version(self):
+        mt = MemTable()
+        mt.add(10, VTYPE_VALUE, b"k", b"v")
+        assert mt.get(b"k", snapshot_seq=5) == (NOT_FOUND, None)
+
+    def test_entries_ordered_key_asc_seq_desc(self):
+        mt = MemTable()
+        mt.add(1, VTYPE_VALUE, b"b", b"1")
+        mt.add(2, VTYPE_VALUE, b"a", b"2")
+        mt.add(3, VTYPE_VALUE, b"b", b"3")
+        entries = list(mt.entries())
+        assert [(k, s) for k, s, _, _ in entries] == [(b"a", 2), (b"b", 3), (b"b", 1)]
+
+    def test_size_accounting(self):
+        mt = MemTable()
+        assert mt.empty
+        mt.add(1, VTYPE_VALUE, b"key", b"value")
+        assert mt.approximate_size > len(b"key") + len(b"value")
+        assert len(mt) == 1
+        assert not mt.empty
+
+    def test_seq_tracking(self):
+        mt = MemTable()
+        mt.add(5, VTYPE_VALUE, b"a", b"")
+        mt.add(9, VTYPE_VALUE, b"b", b"")
+        assert (mt.first_seq, mt.last_seq) == (5, 9)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=1, max_size=8),
+                st.binary(max_size=8),
+                st.booleans(),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_dict_model(self, ops):
+        mt = MemTable()
+        model = {}
+        for seq, (key, value, is_delete) in enumerate(ops, start=1):
+            if is_delete:
+                mt.add(seq, VTYPE_DELETE, key, b"")
+                model[key] = None
+            else:
+                mt.add(seq, VTYPE_VALUE, key, value)
+                model[key] = value
+        for key, expected in model.items():
+            state, value = mt.get(key)
+            if expected is None:
+                assert state == DELETED
+            else:
+                assert (state, value) == (FOUND, expected)

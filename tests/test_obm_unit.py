@@ -1,0 +1,102 @@
+"""Unit tests for Algorithm 1 (opportunistic batching) in isolation."""
+
+from repro.core.obm import collect_batch
+from repro.core.requests import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_SCAN,
+    OP_WRITEBATCH,
+    Request,
+    SHUTDOWN,
+)
+from repro.sim import FIFOQueue, Simulator
+
+
+def make_queue(*requests):
+    q = FIFOQueue(Simulator())
+    for r in requests:
+        q.put(r)
+    return q
+
+
+class TestCollectBatch:
+    def test_merges_consecutive_writes(self):
+        q = make_queue(Request(OP_PUT, key=b"b"), Request(OP_DELETE, key=b"c"))
+        batch = collect_batch(Request(OP_PUT, key=b"a"), q)
+        assert len(batch) == 3
+        assert q.empty
+
+    def test_merges_consecutive_reads(self):
+        q = make_queue(Request(OP_GET, key=b"y"), Request(OP_GET, key=b"z"))
+        batch = collect_batch(Request(OP_GET, key=b"x"), q)
+        assert [r.key for r in batch] == [b"x", b"y", b"z"]
+
+    def test_stops_at_class_boundary_without_reordering(self):
+        q = make_queue(
+            Request(OP_PUT, key=b"b"),
+            Request(OP_GET, key=b"r"),
+            Request(OP_PUT, key=b"c"),
+        )
+        batch = collect_batch(Request(OP_PUT, key=b"a"), q)
+        assert [r.key for r in batch] == [b"a", b"b"]
+        assert q.peek().op == OP_GET  # the boundary request stays queued
+
+    def test_respects_cap(self):
+        q = make_queue(*[Request(OP_PUT, key=b"k%d" % i) for i in range(10)])
+        batch = collect_batch(Request(OP_PUT, key=b"first"), q, max_batch=4)
+        assert len(batch) == 4
+        assert len(q) == 7
+
+    def test_scan_never_merges(self):
+        q = make_queue(Request(OP_SCAN, begin=b"a", count=5))
+        batch = collect_batch(Request(OP_SCAN, begin=b"z", count=5), q)
+        assert len(batch) == 1
+        assert len(q) == 1
+
+    def test_no_merge_flag_isolates_txn_fragments(self):
+        # A transaction WriteBatch must not be merged with other requests...
+        q = make_queue(Request(OP_PUT, key=b"b"))
+        txn = Request(OP_WRITEBATCH, no_merge=True)
+        assert collect_batch(txn, q) == [txn]
+        # ...and must not be swallowed by a preceding mergeable batch.
+        q = make_queue(Request(OP_WRITEBATCH, no_merge=True))
+        batch = collect_batch(Request(OP_PUT, key=b"a"), q)
+        assert len(batch) == 1
+
+    def test_stops_at_shutdown_sentinel(self):
+        q = FIFOQueue(Simulator())
+        q.put(SHUTDOWN)
+        batch = collect_batch(Request(OP_PUT, key=b"a"), q)
+        assert len(batch) == 1
+        assert q.peek() is SHUTDOWN
+
+    def test_empty_queue_degenerates_to_single(self):
+        """Under light load OBM degrades to unbatched execution (§4.3)."""
+        q = FIFOQueue(Simulator())
+        batch = collect_batch(Request(OP_GET, key=b"k"), q)
+        assert len(batch) == 1
+
+
+class TestRangeMergeHelpers:
+    def test_merge_sorted_results(self):
+        from repro.core.range_query import merge_sorted_results
+
+        merged = merge_sorted_results(
+            [[(b"a", b"1"), (b"d", b"4")], [(b"b", b"2")], [(b"c", b"3")]]
+        )
+        assert [k for k, _ in merged] == [b"a", b"b", b"c", b"d"]
+
+    def test_merge_with_limit(self):
+        from repro.core.range_query import merge_sorted_results
+
+        merged = merge_sorted_results(
+            [[(b"a", b"1"), (b"c", b"3")], [(b"b", b"2")]], limit=2
+        )
+        assert [k for k, _ in merged] == [b"a", b"b"]
+
+    def test_merge_empty(self):
+        from repro.core.range_query import merge_sorted_results
+
+        assert merge_sorted_results([]) == []
+        assert merge_sorted_results([[], []]) == []

@@ -1,0 +1,114 @@
+"""Tests for engine options/presets and the sim priority queue."""
+
+import pytest
+
+from repro.engine.costs import CostModel
+from repro.engine.options import (
+    EngineOptions,
+    leveldb_options,
+    pebblesdb_options,
+    rocksdb_options,
+)
+from repro.sim import PriorityQueue, QueueEmpty, Simulator
+
+
+class TestEngineOptions:
+    def test_presets_differ_as_documented(self):
+        rocks = rocksdb_options()
+        level = leveldb_options()
+        pebbles = pebblesdb_options()
+        assert rocks.concurrent_memtable and rocks.pipelined_write
+        assert rocks.supports_multiget
+        assert not level.concurrent_memtable
+        assert not level.supports_multiget
+        assert level.supports_batch_write
+        assert pebbles.compaction_style == "flsm"
+        assert not pebbles.concurrent_memtable
+
+    def test_overrides_apply(self):
+        opts = rocksdb_options(write_buffer_size=123, max_group_size=7)
+        assert opts.write_buffer_size == 123
+        assert opts.max_group_size == 7
+        assert opts.concurrent_memtable  # preset preserved
+
+    def test_clone_does_not_mutate_original(self):
+        base = rocksdb_options()
+        clone = base.clone(write_buffer_size=1)
+        assert base.write_buffer_size != 1
+        assert clone.write_buffer_size == 1
+
+    def test_level_byte_budgets_grow_geometrically(self):
+        opts = EngineOptions(max_bytes_for_level_base=100, level_size_multiplier=10)
+        assert opts.max_bytes_for_level(1) == 100
+        assert opts.max_bytes_for_level(2) == 1000
+        assert opts.max_bytes_for_level(3) == 10000
+        with pytest.raises(ValueError):
+            opts.max_bytes_for_level(0)
+
+    def test_cost_model_calibration_anchors(self):
+        """The single-thread anchors from the paper's Figure 6."""
+        costs = CostModel()
+        # WAL ~2.1 us per op at 1 thread: encode + setup.
+        wal = costs.wal_record_cost(150) + costs.wal_write_setup
+        assert 1.5e-6 < wal < 3.0e-6
+        # MemTable ~2.9 us per insert at a typical fill level.
+        mem = costs.memtable_insert_cost(50_000)
+        assert 2.0e-6 < mem < 5.0e-6
+
+    def test_memtable_cost_grows_with_contention(self):
+        costs = CostModel()
+        alone = costs.memtable_insert_cost(1000, concurrency=1)
+        crowded = costs.memtable_insert_cost(1000, concurrency=32)
+        assert crowded > alone
+
+
+class TestPriorityQueue:
+    def test_lower_priority_pops_first(self):
+        q = PriorityQueue(Simulator())
+        q.put("low", priority=5)
+        q.put("urgent", priority=1)
+        q.put("mid", priority=3)
+        assert q.try_pop() == "urgent"
+        assert q.try_pop() == "mid"
+        assert q.try_pop() == "low"
+
+    def test_fifo_within_priority(self):
+        q = PriorityQueue(Simulator())
+        for tag in ("a", "b", "c"):
+            q.put(tag, priority=1)
+        assert [q.try_pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_blocking_get(self):
+        sim = Simulator()
+        q = PriorityQueue(sim)
+        got = []
+
+        def consumer():
+            item = yield q.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(2.0)
+            q.put("x", priority=9)
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got == [("x", 2.0)]
+
+    def test_peek_and_empty(self):
+        q = PriorityQueue(Simulator())
+        assert q.empty
+        assert q.peek() is None
+        with pytest.raises(QueueEmpty):
+            q.try_pop()
+        q.put("only", priority=2)
+        assert q.peek() == "only"
+        assert len(q) == 1
+
+    def test_counters(self):
+        q = PriorityQueue(Simulator())
+        for i in range(4):
+            q.put(i, priority=i)
+        assert q.total_enqueued == 4
+        assert q.max_depth == 4

@@ -1,0 +1,256 @@
+"""Functional tests for the p2KVS framework: routing, OBM, ranges, async."""
+
+import pytest
+
+from repro.core import P2KVS, HashRouter, RangeRouter, adapter_factory
+from repro.engine import WriteBatch
+from repro.engine.env import make_env
+from tests.conftest import run_process
+
+
+def key(i):
+    return b"user%012d" % i
+
+
+def value(i):
+    return b"value%08d" % i
+
+
+def open_p2kvs(env, **kwargs):
+    kwargs.setdefault("n_workers", 4)
+    return run_process(env, P2KVS.open(env, **kwargs))
+
+
+class TestRouter:
+    def test_hash_router_is_deterministic_and_in_range(self):
+        router = HashRouter(8)
+        for i in range(1000):
+            w = router.route(key(i))
+            assert 0 <= w < 8
+            assert router.route(key(i)) == w
+
+    def test_hash_router_balances_uniform_keys(self):
+        router = HashRouter(8)
+        counts = router.histogram(key(i) for i in range(8000))
+        assert min(counts) > 0.7 * (8000 / 8)
+        assert max(counts) < 1.3 * (8000 / 8)
+
+    def test_hash_router_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            HashRouter(0)
+
+    def test_range_router(self):
+        router = RangeRouter([b"g", b"p"])
+        assert router.route(b"apple") == 0
+        assert router.route(b"grape") == 1
+        assert router.route(b"zebra") == 2
+
+    def test_range_router_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            RangeRouter([b"p", b"g"])
+
+
+class TestBasicOps:
+    def test_put_get_roundtrip(self, env):
+        kvs = open_p2kvs(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(50):
+                yield from kvs.put(ctx, key(i), value(i))
+            out = []
+            for i in range(50):
+                out.append((yield from kvs.get(ctx, key(i))))
+            return out
+
+        assert run_process(env, work()) == [value(i) for i in range(50)]
+
+    def test_delete(self, env):
+        kvs = open_p2kvs(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            yield from kvs.put(ctx, b"k", b"v")
+            yield from kvs.delete(ctx, b"k")
+            return (yield from kvs.get(ctx, b"k"))
+
+        assert run_process(env, work()) is None
+
+    def test_get_missing(self, env):
+        kvs = open_p2kvs(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            return (yield from kvs.get(ctx, b"missing"))
+
+        assert run_process(env, work()) is None
+
+    def test_keys_distributed_across_instances(self, env):
+        kvs = open_p2kvs(env)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(200):
+                yield from kvs.put(ctx, key(i), value(i))
+
+        run_process(env, work())
+        per_instance = [
+            a.counters.get("records_written") for a in kvs.adapters
+        ]
+        assert all(count > 0 for count in per_instance)
+        assert sum(per_instance) == 200
+
+    def test_put_async_with_callback(self, env):
+        kvs = open_p2kvs(env)
+        ctx = env.cpu.new_thread("u")
+        completions = []
+
+        def work():
+            for i in range(10):
+                yield from kvs.put_async(
+                    ctx, key(i), value(i), callback=completions.append
+                )
+            # async: returns before completion; run() drains the workers
+
+        run_process(env, work())
+        env.sim.run()
+        assert len(completions) == 10
+
+
+class TestOBM:
+    def test_obm_merges_concurrent_writes(self, env):
+        kvs = open_p2kvs(env, n_workers=2)
+        procs = []
+
+        def writer(tid):
+            ctx = env.cpu.new_thread("u%d" % tid)
+            for i in range(50):
+                yield from kvs.put(ctx, key(tid * 1000 + i), value(i))
+
+        for t in range(8):
+            procs.append(env.sim.spawn(writer(t)))
+        env.sim.run()
+        stats = kvs.obm_stats()
+        assert stats["requests"] == 400
+        assert stats["avg_batch"] > 1.2  # batching actually happened
+
+    def test_obm_disabled_never_batches(self, env):
+        kvs = open_p2kvs(env, n_workers=2, obm=False)
+
+        def writer(tid):
+            ctx = env.cpu.new_thread("u%d" % tid)
+            for i in range(25):
+                yield from kvs.put(ctx, key(tid * 1000 + i), value(i))
+
+        for t in range(4):
+            env.sim.spawn(writer(t))
+        env.sim.run()
+        stats = kvs.obm_stats()
+        assert stats["avg_batch"] == 1.0
+
+    def test_obm_cap_respected(self, env):
+        kvs = open_p2kvs(env, n_workers=1, obm_cap=4)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(64):
+                yield from kvs.put_async(ctx, key(i), value(i))
+
+        run_process(env, work())
+        env.sim.run()
+        worker = kvs.workers[0]
+        assert worker.batch_sizes.max <= 4
+
+    def test_obm_does_not_merge_across_classes(self, env):
+        """A GET between PUTs bounds the write batch (order preserved)."""
+        kvs = open_p2kvs(env, n_workers=1)
+        worker = kvs.workers[0]
+        ctx = env.cpu.new_thread("u")
+        results = []
+
+        def work():
+            # Enqueue PUT, PUT, GET, PUT without letting the worker drain.
+            yield from kvs.put_async(ctx, b"a", b"1")
+            yield from kvs.put_async(ctx, b"b", b"2")
+            request_get = yield from self_get_async(kvs, ctx, b"a", results)
+            yield from kvs.put_async(ctx, b"a", b"3")
+
+        def self_get_async(kvs, ctx, k, sink):
+            from repro.core.requests import OP_GET, Request
+
+            request = Request(OP_GET, key=k, callback=sink.append)
+            yield from kvs._submit_async(ctx, request, kvs.router.route(k))
+            return request
+
+        run_process(env, work())
+        env.sim.run()
+        # The GET must observe b"1" (submitted before the second PUT of "a").
+        assert results == [b"1"]
+
+
+class TestRangeQueries:
+    def _load(self, env, kvs, n=200):
+        ctx = env.cpu.new_thread("loader")
+
+        def work():
+            for i in range(n):
+                yield from kvs.put(ctx, key(i), value(i))
+
+        run_process(env, work())
+
+    def test_range_query_merges_across_instances(self, env):
+        kvs = open_p2kvs(env)
+        self._load(env, kvs)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            return (yield from kvs.range_query(ctx, key(10), key(19)))
+
+        pairs = run_process(env, work())
+        assert pairs == [(key(i), value(i)) for i in range(10, 20)]
+
+    def test_scan_parallel_strategy(self, env):
+        kvs = open_p2kvs(env, scan_strategy="parallel")
+        self._load(env, kvs)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            return (yield from kvs.scan(ctx, key(50), 20))
+
+        pairs = run_process(env, work())
+        assert pairs == [(key(i), value(i)) for i in range(50, 70)]
+
+    def test_scan_serial_strategy(self, env):
+        kvs = open_p2kvs(env, scan_strategy="serial")
+        self._load(env, kvs)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            return (yield from kvs.scan(ctx, key(50), 20))
+
+        pairs = run_process(env, work())
+        assert pairs == [(key(i), value(i)) for i in range(50, 70)]
+
+    def test_scan_beyond_data_returns_short(self, env):
+        kvs = open_p2kvs(env)
+        self._load(env, kvs, n=10)
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            return (yield from kvs.scan(ctx, key(5), 100))
+
+        pairs = run_process(env, work())
+        assert pairs == [(key(i), value(i)) for i in range(5, 10)]
+
+
+class TestLevelDBFlavor:
+    def test_p2kvs_on_leveldb_adapter(self, env):
+        kvs = open_p2kvs(env, adapter_open=adapter_factory("leveldb"))
+        ctx = env.cpu.new_thread("u")
+
+        def work():
+            for i in range(50):
+                yield from kvs.put(ctx, key(i), value(i))
+            return (yield from kvs.get(ctx, key(25)))
+
+        assert run_process(env, work()) == value(25)

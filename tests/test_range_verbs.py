@@ -1,0 +1,65 @@
+"""RANGE support across every system under test, via the harness verb."""
+
+import pytest
+
+from repro.baselines import KVellLike
+from repro.harness import (
+    KVellSystem,
+    MultiInstanceSystem,
+    P2KVSSystem,
+    SingleInstanceSystem,
+    WiredTigerSystem,
+    open_system,
+    preload,
+    run_closed_loop,
+    scaled_options,
+)
+from repro.workloads import fillrandom, make_key
+from tests.conftest import run_process
+
+N_KEYS = 200
+
+
+def build(env, kind):
+    if kind == "single":
+        return open_system(env, SingleInstanceSystem.open(env, scaled_options()))
+    if kind == "multi":
+        return open_system(env, MultiInstanceSystem.open(env, 2, scaled_options))
+    if kind == "p2kvs":
+        return open_system(env, P2KVSSystem.open(env, n_workers=2))
+    if kind == "kvell":
+        return open_system(env, KVellSystem.open(env, n_workers=2))
+    return open_system(env, WiredTigerSystem.open(env))
+
+
+@pytest.mark.parametrize("kind", ["single", "p2kvs", "kvell", "wiredtiger"])
+def test_range_verb_returns_bounded_sorted_pairs(env, kind):
+    system = build(env, kind)
+    preload(env, system, fillrandom(N_KEYS), n_threads=2)
+    ops = [("range", make_key(50), make_key(59))]
+    metrics = run_closed_loop(env, system, [ops])
+    assert metrics.n_ops == 1
+    assert metrics.latency_of("scan").count == 1
+
+
+def test_kvell_range_query_contents(env):
+    kvell = KVellLike(env, n_workers=3)
+    ctx = env.cpu.new_thread("u")
+
+    def work():
+        for i in range(60):
+            yield from kvell.put(ctx, make_key(i), b"v%d" % i)
+        return (yield from kvell.range_query(ctx, make_key(10), make_key(14)))
+
+    pairs = run_process(env, work())
+    assert pairs == [(make_key(i), b"v%d" % i) for i in range(10, 15)]
+
+
+def test_multi_instance_range_uses_thread_local_engine(env):
+    system = build(env, "multi")
+    preload(env, system, fillrandom(N_KEYS), n_threads=2)
+    # Each thread only sees its own instance's keys — the paper's
+    # multi-instance practice has no global range semantics.
+    ops = [("range", make_key(0), make_key(199))]
+    metrics = run_closed_loop(env, system, [ops])
+    assert metrics.n_ops == 1

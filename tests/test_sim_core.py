@@ -1,0 +1,244 @@
+"""Tests for the event loop, events and processes."""
+
+import pytest
+
+from repro.sim import Simulator, SimError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        seen.append(sim.now)
+        yield sim.timeout(0.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [1.5, 2.0]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="hello")
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.timeout(-1)
+
+
+def test_process_return_value_via_yield():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(2.0, 42)]
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+    out = []
+
+    def inner():
+        yield sim.timeout(1.0)
+        return "inner-result"
+
+    def outer():
+        value = yield from inner()
+        out.append(value)
+
+    sim.spawn(outer())
+    sim.run()
+    assert out == ["inner-result"]
+
+
+def test_events_fire_in_fifo_order_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for i in range(5):
+        sim.spawn(proc(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed("done")
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert got == [(3.0, "done")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_inside_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("unhandled")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def child(d):
+        yield sim.timeout(d)
+        return d
+
+    def parent():
+        procs = [sim.spawn(child(d)) for d in (3.0, 1.0, 2.0)]
+        values = yield sim.all_of(procs)
+        results.append((sim.now, values))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(3.0, [3.0, 1.0, 2.0])]
+
+
+def test_all_of_empty_list():
+    sim = Simulator()
+    results = []
+
+    def parent():
+        values = yield sim.all_of([])
+        results.append(values)
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [[]]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    results = []
+
+    def child(d):
+        yield sim.timeout(d)
+        return d
+
+    def parent():
+        procs = [sim.spawn(child(d)) for d in (3.0, 1.0, 2.0)]
+        index, value = yield sim.any_of(procs)
+        results.append((sim.now, index, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(1.0, 1, 1.0)]
+
+
+def test_run_until_stops_mid_simulation():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=4.5)
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+    assert sim.now == 4.5
+    # Resume from where we stopped.
+    sim.run()
+    assert len(seen) == 10
+
+
+def test_wait_on_already_completed_process():
+    sim = Simulator()
+    out = []
+
+    def quick():
+        yield sim.timeout(1.0)
+        return "quick"
+
+    def late(proc):
+        yield sim.timeout(5.0)
+        value = yield proc
+        out.append((sim.now, value))
+
+    proc = sim.spawn(quick())
+    sim.spawn(late(proc))
+    sim.run()
+    assert out == [(5.0, "quick")]

@@ -1,0 +1,210 @@
+"""Edge-case tests for the simulation kernel (failure paths, composition)."""
+
+import pytest
+
+from repro.sim import SimError, Simulator, StorageDevice
+from repro.sim.device import DeviceSpec
+
+
+class TestFailurePropagation:
+    def test_all_of_fails_fast_on_child_failure(self):
+        sim = Simulator()
+        caught = []
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def ok():
+            yield sim.timeout(5.0)
+            return "fine"
+
+        def parent():
+            procs = [sim.spawn(bad()), sim.spawn(ok())]
+            try:
+                yield sim.all_of(procs)
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.spawn(parent())
+        sim.run()
+        assert caught == [(1.0, "child died")]
+
+    def test_any_of_failure_propagates(self):
+        sim = Simulator()
+        caught = []
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("nope")
+
+        def parent():
+            try:
+                yield sim.any_of([sim.spawn(bad())])
+            except ValueError:
+                caught.append(sim.now)
+
+        sim.spawn(parent())
+        sim.run()
+        assert caught == [1.0]
+
+    def test_exception_chains_through_yield_from(self):
+        sim = Simulator()
+        caught = []
+
+        def inner():
+            yield sim.timeout(1.0)
+            raise KeyError("inner")
+
+        def middle():
+            yield from inner()
+
+        def outer():
+            try:
+                yield from middle()
+            except KeyError:
+                caught.append(sim.now)
+
+        sim.spawn(outer())
+        sim.run()
+        assert caught == [1.0]
+
+    def test_waiting_on_failed_process_raises(self):
+        sim = Simulator()
+        caught = []
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("x")
+
+        proc = None
+
+        def waiter():
+            try:
+                yield proc
+            except RuntimeError:
+                caught.append(True)
+
+        proc = sim.spawn(bad())
+        sim.spawn(waiter())
+        sim.run()
+        assert caught == [True]
+
+
+class TestComposition:
+    def test_spawn_from_inside_a_process(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield sim.timeout(1.0)
+            order.append("child")
+
+        def parent():
+            order.append("parent-start")
+            yield sim.spawn(child())
+            order.append("parent-end")
+
+        sim.spawn(parent())
+        sim.run()
+        assert order == ["parent-start", "child", "parent-end"]
+
+    def test_deeply_nested_yield_from(self):
+        sim = Simulator()
+
+        def level(n):
+            if n == 0:
+                yield sim.timeout(1.0)
+                return 0
+            value = yield from level(n - 1)
+            return value + 1
+
+        result = []
+
+        def root():
+            result.append((yield from level(50)))
+
+        sim.spawn(root())
+        sim.run()
+        assert result == [50]
+
+    def test_many_processes_same_instant_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+
+            def proc(tag):
+                yield sim.timeout(1.0)
+                order.append(tag)
+
+            for i in range(100):
+                sim.spawn(proc(i))
+            sim.run()
+            return order
+
+        assert run_once() == run_once() == list(range(100))
+
+    def test_event_value_is_cached_after_trigger(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed({"payload": 1})
+        assert ev.value == {"payload": 1}
+        assert ev.ok
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimError):
+            _ = ev.value
+
+
+class TestDeviceQueueing:
+    def test_queue_drains_fifo_when_channels_busy(self):
+        sim = Simulator()
+        spec = DeviceSpec("d", 1e9, 1e9, 1.0, 1.0, channels=1)
+        device = StorageDevice(sim, spec)
+        done = []
+
+        def proc(tag):
+            yield device.read(0)
+            done.append(tag)
+
+        for i in range(5):
+            sim.spawn(proc(i))
+        sim.run()
+        assert done == [0, 1, 2, 3, 4]
+        assert sim.now == pytest.approx(5.0)
+
+    def test_mixed_read_write_interleave(self):
+        sim = Simulator()
+        spec = DeviceSpec("d", 100.0, 100.0, 0.5, 0.5, channels=2)
+        device = StorageDevice(sim, spec)
+        done = []
+
+        def proc(kind, nbytes):
+            yield device.submit(kind, nbytes)
+            done.append((kind, sim.now))
+
+        sim.spawn(proc("read", 50))
+        sim.spawn(proc("write", 50))
+        sim.run()
+        # Separate pipes: both complete at setup + transfer.
+        assert all(t == pytest.approx(1.0) for _, t in done)
+
+    def test_io_counters(self):
+        sim = Simulator()
+        spec = DeviceSpec("d", 1e9, 1e9, 1e-6, 1e-6, channels=2)
+        device = StorageDevice(sim, spec)
+
+        def proc():
+            yield device.write(10, category="wal")
+            yield device.read(20, category="read")
+            yield device.ram_read(30)
+
+        sim.spawn(proc())
+        sim.run()
+        assert device.io_count.get("write") == 1
+        assert device.io_count.get("read") == 1
+        assert device.io_count.get("ram_read") == 1
+        assert device.io_count.get("write:wal") == 1
+        assert device.bytes_by_kind.get("ram") == 30

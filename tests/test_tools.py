@@ -1,0 +1,128 @@
+"""Tests for the dbbench and ycsb CLI tools."""
+
+import json
+
+import pytest
+
+from repro.tools import dbbench, ycsb
+
+
+def small_db_args(extra=()):
+    return [
+        "--num", "400",
+        "--threads", "2",
+        "--workers", "2",
+        "--cores", "8",
+    ] + list(extra)
+
+
+class TestDbBench:
+    def test_runs_fill_and_read(self, capsys):
+        rc = dbbench.main(
+            small_db_args(["--benchmarks", "fillrandom,readrandom"])
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fillrandom" in out and "readrandom" in out
+        assert "KQPS" in out or "MQPS" in out or "QPS" in out
+
+    def test_every_system_kind_runs(self, capsys):
+        for system in ("rocksdb", "leveldb", "pebblesdb", "multi", "p2kvs", "kvell", "wiredtiger"):
+            rc = dbbench.main(
+                small_db_args(["--benchmarks", "fillrandom", "--system", system])
+            )
+            assert rc == 0, system
+
+    def test_scan_benchmark(self, capsys):
+        rc = dbbench.main(small_db_args(["--benchmarks", "scan"]))
+        assert rc == 0
+        assert "scan" in capsys.readouterr().out
+
+    def test_overwrite_preloads(self, capsys):
+        rc = dbbench.main(small_db_args(["--benchmarks", "overwrite"]))
+        assert rc == 0
+
+    def test_hdd_device(self, capsys):
+        rc = dbbench.main(
+            small_db_args(["--benchmarks", "fillseq", "--device", "hdd"])
+        )
+        assert rc == 0
+        assert "device=hdd" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "r.json"
+        rc = dbbench.main(
+            small_db_args(["--benchmarks", "fillrandom", "--json", str(out_file)])
+        )
+        assert rc == 0
+        data = json.loads(out_file.read_text())
+        assert data[0]["benchmark"] == "fillrandom"
+        assert data[0]["qps"] > 0
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        rc = dbbench.main(small_db_args(["--benchmarks", "explode"]))
+        assert rc == 2
+
+    def test_p2kvs_flags(self, capsys):
+        rc = dbbench.main(
+            small_db_args(
+                [
+                    "--benchmarks", "fillrandom",
+                    "--system", "p2kvs",
+                    "--no-obm",
+                    "--async-window", "32",
+                ]
+            )
+        )
+        assert rc == 0
+
+    def test_page_cache_flag(self, capsys):
+        rc = dbbench.main(
+            small_db_args(
+                ["--benchmarks", "readrandom", "--page-cache-mb", "0.25"]
+            )
+        )
+        assert rc == 0
+
+
+class TestYcsbCli:
+    def args(self, extra=()):
+        return [
+            "--records", "400",
+            "--ops", "300",
+            "--threads", "2",
+            "--workers", "2",
+            "--cores", "8",
+        ] + list(extra)
+
+    def test_load_workload(self, capsys):
+        rc = ycsb.main(self.args(["--workload", "LOAD"]))
+        assert rc == 0
+        assert "LOAD" in capsys.readouterr().out
+
+    def test_mixed_workloads(self, capsys):
+        rc = ycsb.main(self.args(["--workload", "a,c"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "A" in out and "C" in out
+
+    def test_scan_workload_e(self, capsys):
+        rc = ycsb.main(self.args(["--workload", "E", "--ops", "50"]))
+        assert rc == 0
+
+    def test_unknown_workload_rejected(self, capsys):
+        rc = ycsb.main(self.args(["--workload", "Z"]))
+        assert rc == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "y.json"
+        rc = ycsb.main(
+            self.args(["--workload", "C", "--json", str(out_file)])
+        )
+        assert rc == 0
+        data = json.loads(out_file.read_text())
+        assert data[0]["workload"] == "C"
+
+    def test_p2kvs_system(self, capsys):
+        rc = ycsb.main(self.args(["--workload", "B", "--system", "p2kvs"]))
+        assert rc == 0

@@ -1,0 +1,217 @@
+"""Unit tests for the VersionSet/manifest and the merging iterator."""
+
+import pytest
+
+from repro.engine.iterator import LevelCursor, MemTableCursor, MergingIterator
+from repro.engine.options import EngineOptions
+from repro.engine.version import FileMeta, VersionEdit, VersionSet
+from repro.storage.memtable import MAX_SEQ, MemTable, VTYPE_DELETE, VTYPE_VALUE
+from repro.storage.sstable import SSTableBuilder
+from tests.conftest import run_process
+
+
+def key(i):
+    return b"key%06d" % i
+
+
+def build_table(number, ids, seq=1, vtype=VTYPE_VALUE):
+    builder = SSTableBuilder(number, block_target=256)
+    for i in sorted(ids):
+        builder.add(key(i), seq, vtype, b"t%d-%d" % (number, i))
+    return builder.finish()
+
+
+class TestVersionSet:
+    def make_versions(self, env):
+        return VersionSet(env, "db", EngineOptions())
+
+    def test_apply_edit_adds_and_sorts(self, env):
+        versions = self.make_versions(env)
+        t1 = build_table(1, range(10, 20))
+        t2 = build_table(2, range(0, 10))
+
+        def work():
+            yield from versions.log_and_apply(
+                VersionEdit(added=[(1, FileMeta.from_table(t1))])
+            )
+            yield from versions.log_and_apply(
+                VersionEdit(added=[(1, FileMeta.from_table(t2))])
+            )
+
+        run_process(env, work())
+        files = versions.current.level_files(1)
+        assert [f.number for f in files] == [2, 1]  # sorted by smallest key
+
+    def test_l0_sorted_newest_first(self, env):
+        versions = self.make_versions(env)
+
+        def work():
+            for number in (1, 2, 3):
+                table = build_table(number, range(5))
+                yield from versions.log_and_apply(
+                    VersionEdit(added=[(0, FileMeta.from_table(table))])
+                )
+
+        run_process(env, work())
+        assert [f.number for f in versions.current.level_files(0)] == [3, 2, 1]
+
+    def test_delete_edit_removes(self, env):
+        versions = self.make_versions(env)
+        table = build_table(7, range(5))
+
+        def work():
+            yield from versions.log_and_apply(
+                VersionEdit(added=[(0, FileMeta.from_table(table))])
+            )
+            yield from versions.log_and_apply(VersionEdit(deleted=[(0, 7)]))
+
+        run_process(env, work())
+        assert versions.current.level_files(0) == []
+
+    def test_recover_rebuilds_from_manifest(self, env):
+        versions = self.make_versions(env)
+        table = build_table(3, range(8))
+        blob = versions.blob_name(3)
+        env.disk.put_blob(blob, table, table.file_size)
+        env.disk.commit_blob(blob)
+
+        def work():
+            yield from versions.log_and_apply(
+                VersionEdit(added=[(2, FileMeta.from_table(table))], log_number=9)
+            )
+
+        run_process(env, work())
+        env.disk.crash()
+        fresh = VersionSet(env, "db", EngineOptions())
+
+        def recover():
+            yield from fresh.recover()
+
+        run_process(env, recover())
+        assert [f.number for f in fresh.current.level_files(2)] == [3]
+        assert fresh.log_number == 9
+        assert fresh.next_file_number == 4
+
+    def test_recover_gc_deletes_orphan_blobs(self, env):
+        versions = self.make_versions(env)
+        orphan = build_table(5, range(3))
+        env.disk.put_blob(versions.blob_name(5), orphan, orphan.file_size)
+        env.disk.commit_blob(versions.blob_name(5))
+
+        def recover():
+            yield from versions.recover()
+
+        run_process(env, recover())
+        assert not env.disk.blob_exists(versions.blob_name(5))
+
+    def test_overlapping_query(self, env):
+        versions = self.make_versions(env)
+        t = build_table(1, range(10, 20))
+
+        def work():
+            yield from versions.log_and_apply(
+                VersionEdit(added=[(1, FileMeta.from_table(t))])
+            )
+
+        run_process(env, work())
+        version = versions.current
+        assert version.overlapping(1, key(15), key(30)) != []
+        assert version.overlapping(1, key(25), key(30)) == []
+        assert version.level_bytes(1) == t.file_size
+        assert version.total_files() == 1
+
+
+class TestMergingIterator:
+    def run_iterator(self, env, cursors, begin=None, snapshot=MAX_SEQ, limit=100):
+        iterator = MergingIterator(cursors, snapshot)
+
+        def work():
+            yield from iterator.seek(begin)
+            out = []
+            while len(out) < limit:
+                pair = yield from iterator.next_user()
+                if pair is None:
+                    break
+                out.append(pair)
+            return out
+
+        return run_process(env, work())
+
+    def test_merges_memtable_and_table(self, env):
+        memtable = MemTable()
+        memtable.add(10, VTYPE_VALUE, key(1), b"mem1")
+        table = build_table(1, [0, 2], seq=1)
+        cursors = [
+            MemTableCursor(memtable),
+            table.cursor(None, env.device),
+        ]
+        pairs = self.run_iterator(env, cursors)
+        assert [k for k, _ in pairs] == [key(0), key(1), key(2)]
+
+    def test_newest_version_wins_across_sources(self, env):
+        memtable = MemTable()
+        memtable.add(10, VTYPE_VALUE, key(0), b"newer")
+        table = build_table(1, [0], seq=1)
+        cursors = [MemTableCursor(memtable), table.cursor(None, env.device)]
+        pairs = self.run_iterator(env, cursors)
+        assert pairs == [(key(0), b"newer")]
+
+    def test_tombstone_hides_older_table_entry(self, env):
+        memtable = MemTable()
+        memtable.add(10, VTYPE_DELETE, key(0), b"")
+        table = build_table(1, [0, 1], seq=1)
+        cursors = [MemTableCursor(memtable), table.cursor(None, env.device)]
+        pairs = self.run_iterator(env, cursors)
+        assert [k for k, _ in pairs] == [key(1)]
+
+    def test_snapshot_filters_new_entries(self, env):
+        memtable = MemTable()
+        memtable.add(5, VTYPE_VALUE, key(0), b"old")
+        memtable.add(10, VTYPE_VALUE, key(0), b"new")
+        pairs = self.run_iterator(env, [MemTableCursor(memtable)], snapshot=7)
+        assert pairs == [(key(0), b"old")]
+
+    def test_seek_positions_all_sources(self, env):
+        t1 = build_table(1, range(0, 10))
+        t2 = build_table(2, range(10, 20))
+        cursors = [t1.cursor(None, env.device), t2.cursor(None, env.device)]
+        pairs = self.run_iterator(env, cursors, begin=key(8), limit=4)
+        assert [k for k, _ in pairs] == [key(8), key(9), key(10), key(11)]
+
+
+class TestLevelCursor:
+    def test_walks_across_files(self, env):
+        t1 = build_table(1, range(0, 5))
+        t2 = build_table(2, range(5, 10))
+        files = [FileMeta.from_table(t1), FileMeta.from_table(t2)]
+        cursor = LevelCursor(files, None, env.device)
+
+        def work():
+            yield from cursor.seek(key(3))
+            out = []
+            while cursor.current is not None:
+                out.append(cursor.current[0])
+                yield from cursor.advance()
+            return out
+
+        keys = run_process(env, work())
+        assert keys == [key(i) for i in range(3, 10)]
+
+    def test_empty_level(self, env):
+        cursor = LevelCursor([], None, env.device)
+
+        def work():
+            yield from cursor.seek(None)
+            return cursor.current
+
+        assert run_process(env, work()) is None
+
+    def test_seek_past_all_files(self, env):
+        t1 = build_table(1, range(0, 5))
+        cursor = LevelCursor([FileMeta.from_table(t1)], None, env.device)
+
+        def work():
+            yield from cursor.seek(key(99))
+            return cursor.current
+
+        assert run_process(env, work()) is None

@@ -1,0 +1,81 @@
+"""Property tests for the WAL format: arbitrary payloads round-trip, and a
+crash at ANY byte boundary yields a clean record prefix (never garbage)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.wal import (
+    HEADER_SIZE,
+    LogReader,
+    RECORD_STANDALONE,
+    RECORD_TXN,
+    WalRecord,
+    encode_record,
+)
+
+records_strategy = st.lists(
+    st.tuples(
+        st.binary(max_size=64),
+        st.sampled_from([RECORD_STANDALONE, RECORD_TXN]),
+        st.integers(0, 2**63 - 1),
+    ),
+    max_size=20,
+)
+
+
+@given(records=records_strategy)
+@settings(max_examples=100)
+def test_roundtrip_any_payloads(records):
+    data = b"".join(encode_record(p, t, g) for p, t, g in records)
+    decoded = [(r.payload, r.rtype, r.gsn) for r in LogReader(data)]
+    assert decoded == records
+
+
+@given(records=records_strategy, cut=st.integers(0, 2000))
+@settings(max_examples=150)
+def test_truncation_at_any_point_yields_a_prefix(records, cut):
+    """Losing an arbitrary-length tail must never corrupt, reorder or
+    fabricate records: the reader returns an exact prefix and flags
+    truncation iff bytes were left over."""
+    data = b"".join(encode_record(p, t, g) for p, t, g in records)
+    cut = min(cut, len(data))
+    reader = LogReader(data[:cut])
+    decoded = [(r.payload, r.rtype, r.gsn) for r in reader]
+    assert decoded == records[: len(decoded)]
+    # A clean cut at a record boundary is not truncation; anything else is.
+    consumed = sum(HEADER_SIZE + len(p) for p, _, _ in decoded)
+    if consumed == cut:
+        assert not reader.truncated
+    else:
+        assert reader.truncated
+
+
+@given(
+    records=st.lists(st.binary(max_size=32), min_size=2, max_size=10),
+    flip_at=st.integers(0, 500),
+)
+@settings(max_examples=100)
+def test_single_bit_corruption_never_passes_crc(records, flip_at):
+    data = bytearray(b"".join(encode_record(p) for p in records))
+    flip_at = flip_at % len(data)
+    data[flip_at] ^= 0x01
+    reader = LogReader(bytes(data))
+    decoded = [r.payload for r in reader]
+    # Whatever survives must be a prefix of the originals (CRC or header
+    # framing stops the reader at or before the corruption)... unless the
+    # flipped bit landed in a later record that was never reached.
+    assert decoded == records[: len(decoded)] or reader.truncated is True
+    # The reader can never emit a payload that differs from the original
+    # at the same position.
+    for got, want in zip(decoded, records):
+        assert got == want
+
+
+@given(payload=st.binary(max_size=128), gsn=st.integers(0, 2**63 - 1))
+@settings(max_examples=100)
+def test_encoded_size_matches_record_accounting(payload, gsn):
+    encoded = encode_record(payload, RECORD_TXN, gsn)
+    assert len(encoded) == HEADER_SIZE + len(payload)
+    record = next(iter(LogReader(encoded)))
+    assert record == WalRecord(RECORD_TXN, gsn, payload)
+    assert record.encoded_size == len(encoded)
