@@ -1,0 +1,25 @@
+# Convenience targets.  Everything runs offline against the in-repo sources
+# (PYTHONPATH=src), so no install step is required.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench trace-demo clean
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Record a request-level trace of a small p2KVS fillrandom run and print the
+# span-derived Figure 6 latency attribution.  Open trace-demo.json in
+# https://ui.perfetto.dev — the guided tour is in docs/TRACING.md.
+trace-demo:
+	$(PY) -m repro.tools.dbbench --system p2kvs --workers 4 --threads 8 \
+	    --cores 16 --benchmarks fillrandom --num 5000 \
+	    --trace-out trace-demo.json
+
+clean:
+	rm -f trace-demo.json quickstart-trace.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -8,12 +8,11 @@ threads while useful WAL+MemTable work shrinks from 90% to 16.3%.
 from benchmarks.common import assert_shapes, lsm_options, once, report
 from repro.engine import LSMEngine, make_env
 from repro.harness.report import ShapeCheck, format_table
+from repro.trace.attribution import CATEGORIES, fig06_from_contexts
 from repro.workloads import fillrandom, split_stream
 
 THREADS = [1, 4, 8, 16, 32]
 OPS_PER_THREAD = 1500
-
-CATEGORIES = ["WAL", "MemTable", "WAL lock", "MemTable lock", "Others"]
 
 
 def breakdown_for(n_threads: int):
@@ -41,20 +40,10 @@ def breakdown_for(n_threads: int):
         procs.append(env.sim.spawn(writer(ctx, stream)))
     env.sim.run()
 
-    totals = dict.fromkeys(CATEGORIES, 0.0)
-    for ctx in contexts:
-        busy, wait = ctx.busy_by_category, ctx.wait_by_category
-        totals["WAL"] += busy.get("wal", 0) + wait.get("wal", 0)
-        totals["MemTable"] += busy.get("memtable", 0)
-        totals["WAL lock"] += busy.get("wal_lock", 0) + wait.get("wal_lock", 0)
-        totals["MemTable lock"] += wait.get("memtable_lock", 0)
-        totals["Others"] += (
-            busy.get("other", 0)
-            + wait.get("cpu_queue", 0)
-            + wait.get("stall", 0)
-        )
-    total = sum(totals.values()) or 1.0
-    shares = {k: v / total for k, v in totals.items()}
+    # The category mapping lives in repro.trace.attribution so the same
+    # breakdown can be recomputed from recorded spans (docs/TRACING.md).
+    result = fig06_from_contexts(contexts)
+    totals, shares = result["categories"], result["shares"]
     n_ops = OPS_PER_THREAD * n_threads
     avg_wal_us = totals["WAL"] / n_ops * 1e6
     avg_mem_us = totals["MemTable"] / n_ops * 1e6

@@ -6,7 +6,14 @@ and exercises the standard KV interface: PUT/GET/DELETE, the asynchronous
 write interface, cross-instance WriteBatch transactions, RANGE and SCAN.
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace`` to also record a request-level trace of the whole run and
+write it to ``quickstart-trace.json`` — load that file in
+https://ui.perfetto.dev to see every request, queue residency, WAL flush and
+CPU burst on a timeline (the annotated tour is in docs/TRACING.md).
 """
+
+import sys
 
 from repro import P2KVS, WriteBatch, make_env
 from repro.harness.report import format_qps
@@ -15,6 +22,12 @@ from repro.harness.report import format_qps
 def main():
     # One simulated machine: 16 cores, an Optane-class NVMe SSD, 64 GB RAM.
     env = make_env(n_cores=16)
+
+    tracer = None
+    if "--trace" in sys.argv:
+        from repro.trace import install_tracer
+
+        tracer = install_tracer(env)
 
     def app():
         # --- open a deployment: 4 workers, each pinned to its own core ---
@@ -71,6 +84,12 @@ def main():
 
     env.sim.spawn(app())
     env.sim.run()
+
+    if tracer is not None:
+        from repro.trace import write_chrome_trace
+
+        path = write_chrome_trace(tracer, "quickstart-trace.json")
+        print("wrote trace:", path, "(open in ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

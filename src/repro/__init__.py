@@ -30,6 +30,7 @@ from repro.engine import (
     pebblesdb_options,
     rocksdb_options,
 )
+from repro.trace import install_tracer, uninstall_tracer, write_chrome_trace
 
 __version__ = "1.0.0"
 
@@ -42,10 +43,13 @@ __all__ = [
     "WiredTigerLike",
     "WriteBatch",
     "adapter_factory",
+    "install_tracer",
     "leveldb_options",
     "make_env",
     "pebblesdb_options",
     "rocksdb_options",
+    "uninstall_tracer",
     "wiredtiger_adapter_factory",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -129,16 +129,54 @@ class P2KVS:
     # Submission plumbing
     # ------------------------------------------------------------------
 
+    def _trace_args(self, request: Request, worker_id: int) -> dict:
+        args = {"worker": worker_id, "op": request.op}
+        if request.key is not None:
+            args["key"] = repr(request.key)
+            explain = getattr(self.router, "explain", None)
+            if explain is not None:
+                args.update(explain(request.key))
+        return args
+
     def _submit_and_wait(self, ctx, request: Request, worker_id: int) -> Generator:
+        tracer = self.env.sim.tracer
+        if tracer.enabled:
+            request.trace = tracer.begin(
+                "request:%s" % request.op,
+                "request",
+                ctx.track,
+                args=self._trace_args(request, worker_id),
+            )
         yield self.env.cpu.exec(ctx, SUBMIT_COST, "submit")
         request.future = self.env.sim.event()
         self.workers[worker_id].submit(request)
         waited_since = self.env.sim.now
         result = yield request.future
         ctx.account_wait("request_wait", self.env.sim.now - waited_since)
+        if request.trace is not None:
+            request.trace.finish()
         return result
 
     def _submit_async(self, ctx, request: Request, worker_id: int) -> Generator:
+        tracer = self.env.sim.tracer
+        if tracer.enabled:
+            # Async requests overlap on the submitting thread's track, so the
+            # span is an async pair, closed from the completion callback.
+            span = tracer.async_begin(
+                "request:%s" % request.op,
+                "request",
+                ctx.track,
+                args=self._trace_args(request, worker_id),
+            )
+            request.trace = span
+            user_callback = request.callback
+
+            def _finish_trace(result):
+                span.finish()
+                if user_callback is not None:
+                    user_callback(result)
+
+            request.callback = _finish_trace
         yield self.env.cpu.exec(ctx, SUBMIT_COST, "submit")
         self.workers[worker_id].submit(request)
 

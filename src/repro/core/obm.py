@@ -20,11 +20,20 @@ __all__ = ["collect_batch", "DEFAULT_BATCH_CAP"]
 DEFAULT_BATCH_CAP = 32
 
 
-def collect_batch(first: Request, queue, max_batch: int = DEFAULT_BATCH_CAP) -> List[Request]:
+def collect_batch(
+    first: Request,
+    queue,
+    max_batch: int = DEFAULT_BATCH_CAP,
+    tracer=None,
+    track: str = "",
+) -> List[Request]:
     """Algorithm 1: pop consecutive same-class requests after ``first``.
 
     ``queue`` is the worker's FIFOQueue; only its head is inspected, so
     requests are never reordered (the consistency argument of Section 4.3).
+
+    ``tracer``/``track`` optionally mark each multi-request merge with an
+    ``obm:merge`` instant on the worker's track.
     """
     batch = [first]
     if first.merge_class == SCAN_CLASS or first.no_merge:
@@ -39,4 +48,11 @@ def collect_batch(first: Request, queue, max_batch: int = DEFAULT_BATCH_CAP) -> 
         ):
             break
         batch.append(queue.try_pop())
+    if tracer is not None and len(batch) > 1:
+        tracer.instant(
+            "obm:merge",
+            "obm",
+            track,
+            args={"size": len(batch), "class": first.merge_class},
+        )
     return batch

@@ -69,6 +69,8 @@ class Request:
         "future",
         "callback",
         "submit_time",
+        "trace",
+        "trace_queue",
     )
 
     def __init__(
@@ -100,6 +102,8 @@ class Request:
         self.future = None  # Event, attached at submit time
         self.callback = callback
         self.submit_time = 0.0
+        self.trace = None  # end-to-end request span, when tracing
+        self.trace_queue = None  # queue-residency span, when tracing
 
     @property
     def merge_class(self) -> str:

@@ -35,6 +35,11 @@ class HashRouter:
     def route(self, key: bytes) -> int:
         return fnv1a(key) % self.n_workers
 
+    def explain(self, key: bytes) -> dict:
+        """Routing decision, unpacked for trace annotations."""
+        h = fnv1a(key)
+        return {"router": "hash", "hash": h, "worker": h % self.n_workers}
+
     def histogram(self, keys) -> List[int]:
         """Requests per worker for a key stream (used by skew analyses)."""
         counts = [0] * self.n_workers
@@ -77,6 +82,16 @@ class PrefixRouter:
             return worker
         return self._fallback[fnv1a(key) % len(self._fallback)]
 
+    def explain(self, key: bytes) -> dict:
+        column = self.column_of(key)
+        matched = column in self.columns
+        return {
+            "router": "prefix",
+            "column": column.decode("latin-1"),
+            "matched": matched,
+            "worker": self.route(key),
+        }
+
     def histogram(self, keys) -> List[int]:
         counts = [0] * self.n_workers
         for key in keys:
@@ -101,6 +116,9 @@ class RangeRouter:
 
     def route(self, key: bytes) -> int:
         return bisect_right(self.boundaries, key)
+
+    def explain(self, key: bytes) -> dict:
+        return {"router": "range", "worker": self.route(key)}
 
     def histogram(self, keys) -> List[int]:
         counts = [0] * self.n_workers

@@ -47,6 +47,7 @@ class Worker:
         self.obm_enabled = obm_enabled
         self.obm_cap = obm_cap
         self.queue = FIFOQueue(env.sim, "worker-%d" % worker_id)
+        self.queue_track = "queues:worker-%d" % worker_id
         self.ctx = env.cpu.new_thread(
             "p2kvs-worker-%d" % worker_id, kind="worker", pinned=core
         )
@@ -63,6 +64,16 @@ class Worker:
 
     def submit(self, request: Request) -> None:
         request.submit_time = self.env.sim.now
+        tracer = self.env.sim.tracer
+        if tracer.enabled:
+            # Residency spans overlap (many requests sit queued at once), so
+            # each gets an async span on the queue's track.
+            request.trace_queue = tracer.async_begin(
+                "queued:%s" % request.op,
+                "queue",
+                self.queue_track,
+                args={"depth": len(self.queue)},
+            )
         self.queue.put(request)
 
     def shutdown(self) -> None:
@@ -76,14 +87,35 @@ class Worker:
             if request is SHUTDOWN:
                 return
             yield self.env.cpu.exec(self.ctx, DISPATCH_COST, "dispatch")
+            tracer = self.env.sim.tracer
             if self.obm_enabled:
-                batch = collect_batch(request, self.queue, self.obm_cap)
+                batch = collect_batch(
+                    request,
+                    self.queue,
+                    self.obm_cap,
+                    tracer=tracer if tracer.enabled else None,
+                    track=self.ctx.track,
+                )
             else:
                 batch = [request]
             self.batch_sizes.record(len(batch))
             self.counters.add("batches")
             self.counters.add("requests", len(batch))
+            span = None
+            if tracer.enabled:
+                for r in batch:
+                    if r.trace_queue is not None:
+                        r.trace_queue.finish()
+                        r.trace_queue = None
+                span = tracer.begin(
+                    "execute:%s" % batch[0].merge_class,
+                    "worker",
+                    self.ctx.track,
+                    args={"batch": len(batch), "op": batch[0].op},
+                )
             yield from self._execute(batch)
+            if span is not None:
+                span.finish()
 
     def _execute(self, batch: List[Request]) -> Generator:
         merge_class = batch[0].merge_class

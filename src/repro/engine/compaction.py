@@ -54,8 +54,23 @@ class Compaction:
 def pick_compaction(engine) -> Optional[Compaction]:
     """Choose the most urgent compaction, or None if the tree is in shape."""
     if engine.options.compaction_style == "flsm":
-        return _pick_flsm(engine)
-    return _pick_leveled(engine)
+        compaction = _pick_flsm(engine)
+    else:
+        compaction = _pick_leveled(engine)
+    if compaction is not None:
+        tracer = engine.env.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "compaction:pick",
+                "compaction",
+                "engine:%s" % engine.name,
+                args={
+                    "level": compaction.level,
+                    "target": compaction.target,
+                    "files": len(compaction.all_inputs),
+                },
+            )
+    return compaction
 
 
 def _busy(engine, files: Iterable[FileMeta]) -> bool:

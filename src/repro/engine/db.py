@@ -65,7 +65,9 @@ class LSMEngine:
         #: without which a snapshot could observe half of a WriteBatch.
         self.visible_seq = 0
         self._publish_pending: List[Tuple[int, int]] = []
-        self.memtable = MemTable(seed=_name_seed(name))
+        self.memtable = MemTable(
+            seed=_name_seed(name), sim=env.sim, track="memtable:%s" % name
+        )
         self.immutables: List[Tuple[MemTable, int]] = []  # (memtable, log number)
         self.log_file_number = 0
         self.log_writer: Optional[LogWriter] = None
@@ -254,7 +256,11 @@ class LSMEngine:
         if self.memtable.empty:
             return
         self.immutables.append((self.memtable, self.log_file_number))
-        self.memtable = MemTable(seed=self.versions.next_file_number & 0xFFFF)
+        self.memtable = MemTable(
+            seed=self.versions.next_file_number & 0xFFFF,
+            sim=self.env.sim,
+            track="memtable:%s" % self.name,
+        )
         self._new_wal()
         self.flush_cond.notify_all()
 
@@ -561,6 +567,21 @@ class LSMEngine:
 
     def _flush_one(self, ctx, memtable: MemTable, log_number: int) -> Generator:
         costs = self.costs
+        tracer = self.env.sim.tracer
+        span = (
+            tracer.begin(
+                "flush",
+                "flush",
+                ctx.track,
+                args={
+                    "engine": self.name,
+                    "entries": len(memtable),
+                    "bytes": memtable.approximate_size,
+                },
+            )
+            if tracer.enabled
+            else None
+        )
         number = self.versions.new_file_number()
         builder = SSTableBuilder(
             number, self.options.block_size, self.options.bloom_bits_per_key
@@ -599,6 +620,8 @@ class LSMEngine:
         self.env.disk.delete_file(self._wal_path(log_number))
         self.stall_cond.notify_all()
         self.compact_cond.notify_all()
+        if span is not None:
+            span.finish(file_size=table.file_size)
 
     # ------------------------------------------------------------------
     # Background: compaction
@@ -615,6 +638,22 @@ class LSMEngine:
 
     def _run_compaction(self, ctx, compaction: Compaction) -> Generator:
         costs = self.costs
+        tracer = self.env.sim.tracer
+        span = (
+            tracer.begin(
+                "compaction",
+                "compaction",
+                ctx.track,
+                args={
+                    "engine": self.name,
+                    "level": compaction.level,
+                    "target": compaction.target,
+                    "input_bytes": compaction.input_bytes,
+                },
+            )
+            if tracer.enabled
+            else None
+        )
         for meta in compaction.all_inputs:
             self.compacting.add(meta.number)
         try:
@@ -673,6 +712,11 @@ class LSMEngine:
             self.counters.add(
                 "compaction_write_bytes", sum(t.file_size for t in outputs)
             )
+            if span is not None:
+                span.finish(
+                    output_bytes=sum(t.file_size for t in outputs),
+                    outputs=len(outputs),
+                )
         finally:
             for meta in compaction.all_inputs:
                 self.compacting.discard(meta.number)

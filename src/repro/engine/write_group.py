@@ -101,11 +101,24 @@ class WriteGroupCoordinator:
     def _follow_insert(self, writer: Writer, group: _Group) -> Generator:
         """Concurrent-memtable follower: woken after WAL, inserts its own batch."""
         writer.ctx.account_wait("wal_lock", self.sim.now - writer.enqueue_time)
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin(
+                "wg:follower",
+                "write_group",
+                writer.ctx.track,
+                args={"group": len(group.members)},
+            )
+            if tracer.enabled
+            else None
+        )
         yield from self._insert_batch(writer, len(group.members))
         self._member_done(group)
         waited_since = self.sim.now
         yield group.barrier.arrive()
         writer.ctx.account_wait("memtable_lock", self.sim.now - waited_since)
+        if span is not None:
+            span.finish()
 
     def _member_done(self, group: _Group) -> None:
         """The last group member to finish inserting publishes the group's
@@ -122,6 +135,12 @@ class WriteGroupCoordinator:
         costs = self.costs
         opts = self.opts
         engine = self.engine
+        tracer = self.sim.tracer
+        lead_span = (
+            tracer.begin("wg:lead", "write_group", ctx.track)
+            if tracer.enabled
+            else None
+        )
 
         # Respect backpressure before starting a group (write stalls).
         yield from engine.maybe_stall(ctx)
@@ -132,6 +151,8 @@ class WriteGroupCoordinator:
             members.append(self._pending.popleft())
         group = _Group(members)
         n = len(members)
+        if lead_span is not None:
+            lead_span.set(group=n)
 
         # Sequence numbers are allocated in group order (WAL order); they
         # become *visible* to readers only after the group's inserts land.
@@ -143,13 +164,22 @@ class WriteGroupCoordinator:
 
         # --- WAL stage ---
         if opts.enable_wal:
+            wal_span = (
+                tracer.begin("wg:wal", "write_group", ctx.track)
+                if lead_span is not None
+                else None
+            )
             encode_cpu = 0.0
+            wal_bytes = 0
             for w in members:
                 payload = w.batch.encode()
                 encode_cpu += costs.wal_record_cost(len(payload))
+                wal_bytes += len(payload)
                 engine.log_append(payload, w.rtype, w.gsn)
             yield self.cpu.exec(ctx, encode_cpu + costs.wal_write_setup, "wal")
             yield from engine.maybe_flush_wal(ctx)
+            if wal_span is not None:
+                wal_span.finish(bytes=wal_bytes)
         group.wal_done_time = self.sim.now
 
         if opts.pipelined_write:
@@ -157,6 +187,16 @@ class WriteGroupCoordinator:
 
         # --- MemTable stage ---
         if opts.enable_memtable:
+            mem_span = (
+                tracer.begin(
+                    "wg:memtable",
+                    "write_group",
+                    ctx.track,
+                    args={"concurrent": opts.concurrent_memtable},
+                )
+                if lead_span is not None
+                else None
+            )
             if opts.concurrent_memtable:
                 group.barrier = Barrier(self.sim, parties=n)
                 # Leader wakes each follower (the unlock cost the paper files
@@ -195,6 +235,8 @@ class WriteGroupCoordinator:
                     )
                 for w in members[1:]:
                     w.role_event.succeed(("done", group))
+            if mem_span is not None:
+                mem_span.finish()
         else:
             engine.publish_seqs(group.first_seq, group.last_seq)
             if n > 1:
@@ -208,6 +250,8 @@ class WriteGroupCoordinator:
         if not opts.pipelined_write:
             self._handover()
         yield from self._wait_published(leader)
+        if lead_span is not None:
+            lead_span.finish()
 
     def _wait_published(self, writer: Writer) -> Generator:
         """Block until this writer's sequences are visible to readers:

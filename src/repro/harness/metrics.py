@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.sim.stats import Histogram
+from repro.trace.attribution import fig06_from_spans
 
 __all__ = ["Metrics", "MetricsCollector"]
 
@@ -93,7 +94,17 @@ class Metrics:
 
 
 class MetricsCollector:
-    """Start/stop snapshots around the measured window."""
+    """Start/stop snapshots around the measured window.
+
+    At most ONE collector may be measuring a given env at a time.  The
+    windowing works by differencing cumulative counters (device bytes, CPU
+    busy time) between :meth:`start` and :meth:`finish`; two overlapping
+    collectors would both attribute the same interval's deltas to their own
+    windows — e.g. compaction bytes trailing from a preload phase would be
+    double-counted into both results.  Sequential windows (preload collector
+    finished, then a measured collector) are fine.  :meth:`start` asserts
+    this contract.
+    """
 
     def __init__(self, env, system_name: str):
         self.env = env
@@ -109,6 +120,13 @@ class MetricsCollector:
         self.memory_peak = 0
 
     def start(self) -> None:
+        active = getattr(self.env, "_active_collector", None)
+        assert active is None or active is self, (
+            "env already has an active MetricsCollector (%r); overlapping "
+            "windows double-count cumulative deltas — finish it first"
+            % (active.system_name,)
+        )
+        self.env._active_collector = self
         self._t0 = self.env.sim.now
         self._dev0 = self.env.device.bytes_by_category.as_dict()
         self._kind0 = self.env.device.bytes_by_kind.as_dict()
@@ -131,6 +149,8 @@ class MetricsCollector:
 
     def finish(self, n_ops: int, user_bytes_written: float, memory_bytes: int) -> Metrics:
         env = self.env
+        if getattr(env, "_active_collector", None) is self:
+            env._active_collector = None
         elapsed = env.sim.now - self._t0
         dev1 = env.device.bytes_by_category.as_dict()
         device_bytes = {
@@ -149,7 +169,7 @@ class MetricsCollector:
             kind: cpu_kind1.get(kind, 0.0) - self._cpu_kind0.get(kind, 0.0)
             for kind in set(cpu_kind1) | set(self._cpu_kind0)
         }
-        return Metrics(
+        metrics = Metrics(
             system=self.system_name,
             n_ops=n_ops,
             elapsed=elapsed,
@@ -169,3 +189,15 @@ class MetricsCollector:
             n_cores=env.cpu.n_cores,
             write_bandwidth=env.device.spec.write_bandwidth,
         )
+        tracer = env.sim.tracer
+        if tracer.enabled:
+            # Span-derived Figure 6 breakdown over the measured window, for
+            # the foreground path (user + worker threads; background flush /
+            # compaction threads are outside the per-request attribution).
+            tracks = {
+                t.track for t in env.cpu.threads if t.kind in ("user", "worker")
+            }
+            metrics.extra["latency_attribution"] = fig06_from_spans(
+                tracer, tracks=tracks, window=(self._t0, env.sim.now)
+            )
+        return metrics

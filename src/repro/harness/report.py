@@ -9,7 +9,13 @@ not absolute numbers (DESIGN.md Section 1).
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-__all__ = ["ShapeCheck", "format_qps", "format_table", "print_section"]
+__all__ = [
+    "ShapeCheck",
+    "format_attribution",
+    "format_qps",
+    "format_table",
+    "print_section",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -45,6 +51,25 @@ def format_qps(qps: float) -> str:
     if qps >= 1e3:
         return "%.1f KQPS" % (qps / 1e3)
     return "%.0f QPS" % qps
+
+
+def format_attribution(breakdown: dict) -> str:
+    """Render a Figure 6-style latency-attribution breakdown.
+
+    ``breakdown`` is the dict produced by
+    :func:`repro.trace.attribution.fig06_breakdown`: five categories with
+    absolute seconds and shares of the accounted write-path time.
+    """
+    from repro.trace.attribution import CATEGORIES
+
+    categories = breakdown["categories"]
+    shares = breakdown["shares"]
+    rows = [
+        [name, "%.1f%%" % (shares[name] * 100.0), "%.3f ms" % (categories[name] * 1e3)]
+        for name in CATEGORIES
+    ]
+    rows.append(["total", "100%", "%.3f ms" % (breakdown["total"] * 1e3)])
+    return format_table(["category", "share", "time"], rows)
 
 
 def print_section(title: str) -> None:

@@ -13,6 +13,8 @@ exception, and then fan out to all registered callbacks in FIFO order.
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.trace.tracer import NULL_TRACER
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -226,6 +228,9 @@ class Simulator:
         self._heap: List = []
         self._seq = 0  # tie-break so heap order is FIFO and deterministic
         self._pending_error: Optional[BaseException] = None
+        #: span recorder; the no-op default costs one branch per probe site
+        #: and never advances simulated time (see repro.trace).
+        self.tracer = NULL_TRACER
 
     # -- time ------------------------------------------------------------
 

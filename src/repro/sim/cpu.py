@@ -21,6 +21,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sim.core import Event, SimError, Simulator
 from repro.sim.stats import UtilizationTracker
+from repro.trace.tracer import thread_track
 
 __all__ = ["CPUSet", "ThreadContext"]
 
@@ -36,23 +37,49 @@ class ThreadContext:
         "busy_time",
         "busy_by_category",
         "wait_by_category",
+        "sim",
+        "track",
     )
 
-    def __init__(self, name: str, kind: str = "user", pinned: Optional[int] = None):
+    def __init__(
+        self,
+        name: str,
+        kind: str = "user",
+        pinned: Optional[int] = None,
+        sim: Optional[Simulator] = None,
+    ):
         self.name = name
         self.kind = kind  # "user" | "worker" | "background"
         self.pinned = pinned
+        self.sim = sim
+        self.track = thread_track(name)
         self.last_core: Optional[int] = None
         self.busy_time = 0.0
         self.busy_by_category: Dict[str, float] = defaultdict(float)
         self.wait_by_category: Dict[str, float] = defaultdict(float)
 
+    # account_busy/account_wait are the single funnel for every Figure 6
+    # input (CPU bursts, lock hold/wait, WAL flush waits, stalls).  When
+    # tracing is on, each accounted interval is also emitted as a span on
+    # this thread's track — every caller accounts dt = now - start, so the
+    # interval is exactly [now - dt, now].
+
     def account_busy(self, category: str, dt: float) -> None:
         self.busy_time += dt
         self.busy_by_category[category] += dt
+        if self.sim is not None and dt > 0:
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                now = self.sim.now
+                tracer.complete(category, "busy", self.track, now - dt, now)
 
     def account_wait(self, category: str, dt: float) -> None:
         self.wait_by_category[category] += dt
+        if self.sim is not None and dt > 0:
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                now = self.sim.now
+                tracer.complete(category, "wait", self.track, now - dt, now)
 
     def __repr__(self) -> str:
         return "ThreadContext(%r, kind=%r, pinned=%r)" % (
@@ -100,7 +127,7 @@ class CPUSet:
     ) -> ThreadContext:
         if pinned is not None and not (0 <= pinned < self.n_cores):
             raise SimError("pin target %r out of range" % (pinned,))
-        ctx = ThreadContext(name, kind=kind, pinned=pinned)
+        ctx = ThreadContext(name, kind=kind, pinned=pinned, sim=self.sim)
         if pinned is not None:
             self._pinned_cores.add(pinned)
         self.threads.append(ctx)
@@ -169,6 +196,17 @@ class CPUSet:
     ) -> None:
         end = self.sim.now
         self.trackers[core].mark_busy(started, end)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # Core-occupancy view: one row per core, labelled by the burst.
+            tracer.complete(
+                category,
+                "core",
+                "cores:core-%d" % core,
+                started,
+                end,
+                args={"thread": ctx.name},
+            )
         ctx.account_busy(category, duration)
         self.busy_by_kind[ctx.kind] += duration
         self._busy[core] = False

@@ -92,7 +92,9 @@ class StorageDevice:
     def __init__(self, sim: Simulator, spec: DeviceSpec, series_bin: float = 0.1):
         self.sim = sim
         self.spec = spec
-        self._free_channels = spec.channels
+        # Free channel *ids* (not just a count) so each in-flight IO can be
+        # attributed to a channel — the tracer draws one timeline per channel.
+        self._free_channels = list(range(spec.channels))
         self._pipe_free_at: Dict[str, float] = {"read": 0.0, "write": 0.0}
         self._queue: Deque[Tuple[str, int, bool, Event, str]] = deque()
         self.bytes_by_category = Counter()
@@ -130,16 +132,17 @@ class StorageDevice:
         if nbytes < 0:
             raise SimError("negative IO size")
         ev = self.sim.event()
-        if self._free_channels > 0:
-            self._free_channels -= 1
-            self._start(kind, nbytes, random, ev, category)
+        if self._free_channels:
+            self._start(self._free_channels.pop(), kind, nbytes, random, ev, category)
         else:
             self._queue.append((kind, nbytes, random, ev, category))
         return ev
 
     # -- internals -------------------------------------------------------------
 
-    def _start(self, kind: str, nbytes: int, random: bool, ev: Event, category: str) -> None:
+    def _start(
+        self, channel: int, kind: str, nbytes: int, random: bool, ev: Event, category: str
+    ) -> None:
         """Two-stage service: per-IO setup overlaps across channels, but the
         byte transfer reserves the shared bandwidth pipe for its direction —
         aggregate throughput can never exceed the spec's bandwidth, no matter
@@ -156,11 +159,11 @@ class StorageDevice:
         self._pipe_free_at[kind] = transfer_end
         done = self.sim.timeout(transfer_end - started)
         done.add_callback(
-            lambda _ev: self._finish(kind, nbytes, ev, category, started)
+            lambda _ev: self._finish(channel, kind, nbytes, ev, category, started)
         )
 
     def _finish(
-        self, kind: str, nbytes: int, ev: Event, category: str, started: float
+        self, channel: int, kind: str, nbytes: int, ev: Event, category: str, started: float
     ) -> None:
         now = self.sim.now
         self.busy_channel_time += now - started
@@ -173,10 +176,20 @@ class StorageDevice:
         if series is None:
             series = self.bandwidth_series[category] = TimeSeries(self._series_bin)
         series.add(now, nbytes)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "%s:%s" % (kind, category),
+                "device",
+                "device:ch-%d" % channel,
+                started,
+                now,
+                args={"bytes": nbytes},
+            )
         if self._queue:
-            self._start(*self._queue.popleft())
+            self._start(channel, *self._queue.popleft())
         else:
-            self._free_channels += 1
+            self._free_channels.append(channel)
         ev.succeed()
 
     # -- metrics -----------------------------------------------------------------

@@ -125,14 +125,26 @@ ENTRY_OVERHEAD = 24
 class MemTable:
     """Multi-version sorted write buffer, flushed to an SSTable when full."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, sim=None, track: str = ""):
         self._list = SkipList(seed)
+        # Simulator handle (optional) so inserts can emit trace instants.
+        self._sim = sim
+        self._track = track
         self.approximate_size = 0
         self.entry_count = 0
         self.first_seq: Optional[int] = None
         self.last_seq: Optional[int] = None
 
     def add(self, seq: int, vtype: int, key: bytes, value: bytes) -> None:
+        if self._sim is not None:
+            tracer = self._sim.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "memtable:add",
+                    "memtable",
+                    self._track,
+                    args={"seq": seq, "bytes": len(key) + len(value)},
+                )
         # Internal key (key, MAX_SEQ - seq) sorts newer versions first.
         self._list.insert((key, MAX_SEQ - seq), (vtype, value))
         self.approximate_size += len(key) + len(value) + ENTRY_OVERHEAD

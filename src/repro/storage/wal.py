@@ -53,10 +53,19 @@ class LogWriter:
 
     def __init__(self, vfile):
         self.vfile = vfile
+        self._track = "storage:%s" % vfile.path
 
     def append(self, payload: bytes, rtype: int = RECORD_STANDALONE, gsn: int = 0) -> int:
         """Append one record; returns its encoded size in bytes."""
         data = encode_record(payload, rtype, gsn)
+        tracer = self.vfile.disk.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "wal:append",
+                "wal",
+                self._track,
+                args={"bytes": len(data), "gsn": gsn, "rtype": rtype},
+            )
         self.vfile.append(data)
         return len(data)
 
@@ -65,7 +74,21 @@ class LogWriter:
         return self.vfile.pending_bytes
 
     def flush(self, category: str = "wal"):
+        tracer = self.vfile.disk.sim.tracer
+        if tracer.enabled:
+            return self._traced_flush(tracer, category)
         return self.vfile.flush(category)
+
+    def _traced_flush(self, tracer, category: str):
+        span = tracer.begin(
+            "wal:flush",
+            "wal",
+            self._track,
+            args={"bytes": self.vfile.pending_bytes},
+        )
+        result = yield from self.vfile.flush(category)
+        span.finish()
+        return result
 
 
 class LogReader:

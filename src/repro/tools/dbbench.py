@@ -33,8 +33,9 @@ from repro.harness import (
     preload,
     run_closed_loop,
 )
-from repro.harness.report import format_qps, format_table
+from repro.harness.report import format_attribution, format_qps, format_table
 from repro.sim.device import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO
+from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import (
     fillrandom,
     fillseq,
@@ -86,7 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record a request-level trace and write Chrome trace-event JSON "
+        "(load in ui.perfetto.dev; see docs/TRACING.md); with several "
+        "benchmarks the benchmark name is appended to the file name",
+    )
     return parser
+
+
+def _trace_path(base: str, name: str, multiple: bool) -> str:
+    if not multiple:
+        return base
+    root, dot, ext = base.rpartition(".")
+    if dot:
+        return "%s-%s.%s" % (root, name, ext)
+    return "%s-%s" % (base, name)
 
 
 def _make_env(args):
@@ -166,15 +183,16 @@ def _ops_for(name: str, args):
     raise SystemExit("unknown benchmark %r (choose from %s)" % (name, BENCHMARKS))
 
 
-def run_benchmark(name: str, args) -> dict:
+def run_benchmark(name: str, args, trace_path: Optional[str] = None) -> dict:
     env = _make_env(args)
+    tracer = install_tracer(env) if trace_path else None
     system = _build_system(env, args)
     if name in NEEDS_PRELOAD:
         preload(env, system, fillrandom(args.num, args.value_size, args.seed), 8)
     metrics = run_closed_loop(
         env, system, split_stream(_ops_for(name, args), args.threads)
     )
-    return {
+    result = {
         "benchmark": name,
         "system": system.name,
         "threads": args.threads,
@@ -187,6 +205,12 @@ def run_benchmark(name: str, args) -> dict:
         "cpu_cores_busy": metrics.cpu_utilization,
         "simulated_seconds": metrics.elapsed,
     }
+    if tracer is not None:
+        result["trace_file"] = write_chrome_trace(tracer, trace_path)
+        attribution = metrics.extra.get("latency_attribution")
+        if attribution is not None:
+            result["latency_attribution"] = attribution
+    return result
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -196,7 +220,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in BENCHMARKS:
             print("unknown benchmark %r" % name, file=sys.stderr)
             return 2
-    results = [run_benchmark(name, args) for name in names]
+    results = [
+        run_benchmark(
+            name,
+            args,
+            _trace_path(args.trace_out, name, len(names) > 1)
+            if args.trace_out
+            else None,
+        )
+        for name in names
+    ]
     rows = [
         [
             r["benchmark"],
@@ -234,6 +267,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             rows,
         )
     )
+    for r in results:
+        if "latency_attribution" in r:
+            print()
+            print("%s latency attribution (paper Figure 6):" % r["benchmark"])
+            print(format_attribution(r["latency_attribution"]))
+        if "trace_file" in r:
+            print("wrote trace %s" % r["trace_file"])
     if args.json:
         with open(args.json, "w") as f:
             json.dump(results, f, indent=2)

@@ -18,8 +18,15 @@ import sys
 from typing import List, Optional
 
 from repro.harness import preload, run_closed_loop
-from repro.harness.report import format_qps, format_table
-from repro.tools.dbbench import DEVICES, SYSTEMS, _build_system, _make_env
+from repro.harness.report import format_attribution, format_qps, format_table
+from repro.tools.dbbench import (
+    DEVICES,
+    SYSTEMS,
+    _build_system,
+    _make_env,
+    _trace_path,
+)
+from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import WORKLOADS, YCSBWorkload
 
 WORKLOAD_NAMES = tuple(WORKLOADS)
@@ -48,11 +55,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--async-window", type=int, default=0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", metavar="PATH")
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record a request-level trace and write Chrome trace-event JSON "
+        "(see docs/TRACING.md)",
+    )
     return parser
 
 
-def run_workload(name: str, args) -> dict:
+def run_workload(name: str, args, trace_path: Optional[str] = None) -> dict:
     env = _make_env(args)
+    tracer = install_tracer(env) if trace_path else None
     system = _build_system(env, args)
     workload = YCSBWorkload(
         name, args.records, value_size=args.value_size, seed=args.seed
@@ -66,7 +80,7 @@ def run_workload(name: str, args) -> dict:
     for i, op in enumerate(ops):
         streams[i % args.threads].append(op)
     metrics = run_closed_loop(env, system, streams)
-    return {
+    result = {
         "workload": name,
         "system": system.name,
         "threads": args.threads,
@@ -76,6 +90,12 @@ def run_workload(name: str, args) -> dict:
         "p99_latency_us": metrics.p99_latency * 1e6,
         "simulated_seconds": metrics.elapsed,
     }
+    if tracer is not None:
+        result["trace_file"] = write_chrome_trace(tracer, trace_path)
+        attribution = metrics.extra.get("latency_attribution")
+        if attribution is not None:
+            result["latency_attribution"] = attribution
+    return result
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,7 +105,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in WORKLOAD_NAMES:
             print("unknown workload %r" % name, file=sys.stderr)
             return 2
-    results = [run_workload(name, args) for name in names]
+    results = [
+        run_workload(
+            name,
+            args,
+            _trace_path(args.trace_out, name, len(names) > 1)
+            if args.trace_out
+            else None,
+        )
+        for name in names
+    ]
     rows = [
         [
             r["workload"],
@@ -100,6 +129,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         % (args.system, args.threads, args.records, args.ops)
     )
     print(format_table(["workload", "throughput", "avg us", "p99 us"], rows))
+    for r in results:
+        if "latency_attribution" in r:
+            print()
+            print("%s latency attribution (paper Figure 6):" % r["workload"])
+            print(format_attribution(r["latency_attribution"]))
+        if "trace_file" in r:
+            print("wrote trace %s" % r["trace_file"])
     if args.json:
         with open(args.json, "w") as f:
             json.dump(results, f, indent=2)
