@@ -4,13 +4,37 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench trace-demo clean
+.PHONY: test bench lint sanitize perturb-smoke ci trace-demo clean
 
 test:
 	$(PY) -m pytest -x -q
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Determinism lint: AST rules over src/ (wall clocks, global RNGs, unordered
+# iteration, lock pairing, condvar discipline).  See docs/ANALYSIS.md.
+lint:
+	$(PY) -m repro.tools.lint src
+
+# The full test suite with lock-order + data-race sanitizers attached to
+# every Simulator (slower; any finding fails the test).
+sanitize:
+	$(PY) -m pytest -q --sanitize
+
+# Schedule-perturbation smoke: the quickstart must print byte-identical
+# output for three different same-time shuffle seeds.
+perturb-smoke:
+	@$(PY) examples/quickstart.py --schedule-seed 1 > .perturb-1.out
+	@$(PY) examples/quickstart.py --schedule-seed 2 > .perturb-2.out
+	@$(PY) examples/quickstart.py --schedule-seed 3 > .perturb-3.out
+	@cmp .perturb-1.out .perturb-2.out && cmp .perturb-1.out .perturb-3.out \
+	    && echo "perturb-smoke: identical output across 3 schedule seeds" \
+	    || (echo "perturb-smoke: outputs differ across seeds" >&2; exit 1)
+	@rm -f .perturb-1.out .perturb-2.out .perturb-3.out
+
+# What CI runs (see .github/workflows/ci.yml).
+ci: lint test perturb-smoke
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -21,5 +45,5 @@ trace-demo:
 	    --trace-out trace-demo.json
 
 clean:
-	rm -f trace-demo.json quickstart-trace.json
+	rm -f trace-demo.json quickstart-trace.json .perturb-*.out
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -11,6 +11,10 @@ Pass ``--trace`` to also record a request-level trace of the whole run and
 write it to ``quickstart-trace.json`` — load that file in
 https://ui.perfetto.dev to see every request, queue residency, WAL flush and
 CPU burst on a timeline (the annotated tour is in docs/TRACING.md).
+
+Pass ``--schedule-seed N`` to randomize same-time event delivery with seed
+N: the printed output must be byte-identical for every N — ``make
+perturb-smoke`` checks exactly that (see docs/ANALYSIS.md).
 """
 
 import sys
@@ -28,6 +32,10 @@ def main():
         from repro.trace import install_tracer
 
         tracer = install_tracer(env)
+
+    if "--schedule-seed" in sys.argv:
+        seed = int(sys.argv[sys.argv.index("--schedule-seed") + 1])
+        env.sim.perturb_schedule(seed)
 
     def app():
         # --- open a deployment: 4 workers, each pinned to its own core ---

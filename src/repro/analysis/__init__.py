@@ -1,0 +1,31 @@
+"""Determinism lint and dynamic simulation sanitizers.
+
+Two halves, one goal — keep the reproduction trustworthy:
+
+* :mod:`repro.analysis.lint` — static AST rules (``python -m
+  repro.tools.lint`` / ``make lint``) that reject nondeterminism at the
+  source level: wall clocks, global RNGs, unordered-set iteration, unpaired
+  lock acquire/release, condvar waits without a guard loop.
+* :mod:`repro.analysis.sanitizer` — runtime monitors wired into the sim
+  kernel: a lock-order graph with cycle (potential-deadlock) detection and a
+  vector-clock happens-before data-race detector.
+* :mod:`repro.analysis.perturb` — seeded schedule perturbation: shuffles
+  same-time event delivery and asserts results are schedule-independent.
+"""
+
+from repro.analysis.lint import Diagnostic, LintRule, RULES, lint_paths, lint_source, register
+from repro.analysis.perturb import run_perturbed
+from repro.analysis.sanitizer import Sanitizer, SanitizerError, install_sanitizer
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "RULES",
+    "Sanitizer",
+    "SanitizerError",
+    "install_sanitizer",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "run_perturbed",
+]

@@ -1,0 +1,523 @@
+"""Determinism lint: AST rules that keep the simulation reproducible.
+
+The whole reproduction rests on the simulator being deterministic: one stray
+``time.time()``, one module-level ``random.random()``, or one iteration over
+an unordered set that reaches a scheduling decision silently corrupts every
+figure.  ``python -m repro.tools.lint`` (or ``make lint``) runs every
+registered rule over ``src/`` and fails on any diagnostic.
+
+Adding a rule is one class::
+
+    @register
+    class MyRule(LintRule):
+        name = "my-rule"
+        description = "what it catches"
+        scopes = ("repro.sim",)   # dotted-module prefixes; None = everywhere
+
+        def check(self, module):
+            yield self.diag(module, node, "message")
+
+Suppressions are explicit and line-scoped::
+
+    t = time.time()  # lint: disable=wall-clock  (reason...)
+
+or file-scoped with ``# lint: disable-file=<rule>`` on its own line.
+"""
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "ModuleUnderLint",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+#: modules where simulated time and seeded RNGs are the only legal clocks.
+SIM_SCOPES = ("repro.sim", "repro.engine", "repro.core")
+
+_DISABLE_LINE = re.compile(r"#\s*lint:\s*disable=([\w,\-]+)")
+_DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file=([\w,\-]+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return "%s:%d:%d: [%s] %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+        )
+
+
+class ModuleUnderLint:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, source: str, module: str, path: str):
+        self.source = source
+        self.module = module
+        self.path = path
+        self.tree = ast.parse(source, filename=path)
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DISABLE_LINE.search(text)
+            if match:
+                self.line_suppressions[lineno] = set(match.group(1).split(","))
+            match = _DISABLE_FILE.search(text)
+            if match:
+                self.file_suppressions |= set(match.group(1).split(","))
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions:
+            return True
+        return rule in self.line_suppressions.get(line, ())
+
+
+class LintRule:
+    """Base class: subclass, set ``name``/``description``, implement check."""
+
+    name = ""
+    description = ""
+    #: dotted-module prefixes the rule applies to; None applies everywhere.
+    scopes: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: str) -> bool:
+        if self.scopes is None:
+            return True
+        return any(
+            module == scope or module.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+    def diag(self, module: ModuleUnderLint, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+RULES: List[LintRule] = []
+
+
+def register(cls):
+    """Class decorator adding one rule instance to the global registry."""
+    RULES.append(cls())
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> str:
+    """'time.time' for Attribute/Name chains; '' when not a plain chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+
+@register
+class WallClockRule(LintRule):
+    """The kernel's clock is ``sim.now``; wall clocks desynchronize replays."""
+
+    name = "wall-clock"
+    description = (
+        "no wall-clock calls (time.time/monotonic/perf_counter/sleep, "
+        "datetime.now) inside simulation modules — use sim.now / sim.timeout"
+    )
+    scopes = SIM_SCOPES
+
+    FORBIDDEN = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock",
+        "time.sleep",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name in self.FORBIDDEN:
+                    yield self.diag(
+                        module,
+                        node,
+                        "%s() reads the wall clock; simulation code must use "
+                        "sim.now / sim.timeout" % name,
+                    )
+
+
+@register
+class GlobalRandomRule(LintRule):
+    """Only seeded ``random.Random(seed)`` instances are reproducible."""
+
+    name = "global-random"
+    description = (
+        "no module-level random functions, os.urandom, uuid or secrets in "
+        "simulation modules — use a seeded random.Random instance"
+    )
+    scopes = SIM_SCOPES
+
+    FORBIDDEN = {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.uniform",
+        "random.gauss",
+        "random.expovariate",
+        "random.betavariate",
+        "random.seed",
+        "random.getrandbits",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name in self.FORBIDDEN:
+                    yield self.diag(
+                        module,
+                        node,
+                        "%s() is process-global randomness; use a seeded "
+                        "random.Random(seed) instance" % name,
+                    )
+
+
+@register
+class UnorderedIterRule(LintRule):
+    """Iteration order over a set is arbitrary; if it reaches a scheduling
+    decision it breaks run-to-run determinism silently."""
+
+    name = "unordered-iter"
+    description = (
+        "no iteration over set/frozenset expressions (or names bound to "
+        "them in the same scope) — wrap in sorted() or use an ordered "
+        "container"
+    )
+    scopes = None
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(_functions(module.tree))
+        for scope in scopes:
+            set_names = {
+                target.id
+                for node in _own_nodes(scope)
+                if isinstance(node, ast.Assign) and _is_set_expr(node.value)
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            }
+
+            def _setish(expr: ast.AST) -> bool:
+                if _is_set_expr(expr):
+                    return True
+                return isinstance(expr, ast.Name) and expr.id in set_names
+
+            for node in _own_nodes(scope):
+                iters = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple")
+                    and node.args
+                ):
+                    iters.append(node.args[0])
+                for it in iters:
+                    if _setish(it):
+                        yield self.diag(
+                            module,
+                            it,
+                            "iteration over an unordered set; iteration order "
+                            "is arbitrary — use sorted(...) or an ordered "
+                            "container",
+                        )
+
+
+@register
+class LockPairingRule(LintRule):
+    """A lexical acquire/release imbalance in one function is how leaked
+    critical sections (and the silent-hang deadlocks they cause) start."""
+
+    name = "lock-pairing"
+    description = (
+        "every X.acquire(...) must have a matching X.release() in the same "
+        "function body"
+    )
+    scopes = None
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for func in _functions(module.tree):
+            acquires: Dict[str, List[ast.Call]] = {}
+            releases: Dict[str, int] = {}
+            for node in _own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                recv = _dotted(node.func.value)
+                if not recv:
+                    continue
+                if node.func.attr == "acquire":
+                    acquires.setdefault(recv, []).append(node)
+                elif node.func.attr == "release":
+                    releases[recv] = releases.get(recv, 0) + 1
+            for recv, calls in acquires.items():
+                n_rel = releases.get(recv, 0)
+                if len(calls) != n_rel:
+                    yield self.diag(
+                        module,
+                        calls[0],
+                        "%s.acquire() appears %d time(s) but %s.release() "
+                        "%d time(s) in %r; pair them lexically (try/finally) "
+                        "or suppress with a reason if released elsewhere"
+                        % (recv, len(calls), recv, n_rel, func.name),
+                    )
+
+
+@register
+class CondvarWaitLoopRule(LintRule):
+    """`yield cond.wait()` must sit inside a while loop re-checking its
+    predicate: a woken waiter holds no guarantee the condition still holds."""
+
+    name = "condvar-wait-loop"
+    description = (
+        "yield X.wait(...) must be inside a while loop that re-checks the "
+        "predicate after wakeup"
+    )
+    scopes = None
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for func in _functions(module.tree):
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in _own_nodes(func):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            for node in _own_nodes(func):
+                if not isinstance(node, ast.Yield) or node.value is None:
+                    continue
+                call = node.value
+                if not (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "wait"
+                ):
+                    continue
+                ancestor = parents.get(node)
+                in_while = False
+                while ancestor is not None:
+                    if isinstance(ancestor, ast.While):
+                        in_while = True
+                        break
+                    ancestor = parents.get(ancestor)
+                if not in_while:
+                    yield self.diag(
+                        module,
+                        node,
+                        "condvar wait outside a while loop in %r; spurious or "
+                        "early wakeups need a predicate re-check" % func.name,
+                    )
+
+
+@register
+class YieldWaitInCriticalRule(LintRule):
+    """Blocking on a condvar while holding a FIFO sim lock deadlocks the
+    waker if it ever needs the same lock; the paper's hand-off protocols
+    always release before sleeping."""
+
+    name = "yield-in-critical"
+    description = (
+        "no yield X.wait(...) between Y.acquire() and Y.release() — release "
+        "the lock before sleeping, then re-check the guard"
+    )
+    scopes = None
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for func in _functions(module.tree):
+            spans: List[Tuple[int, int]] = []
+            acquires: Dict[str, List[int]] = {}
+            releases: Dict[str, List[int]] = {}
+            for node in _own_nodes(func):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    recv = _dotted(node.func.value)
+                    if not recv:
+                        continue
+                    if node.func.attr == "acquire":
+                        acquires.setdefault(recv, []).append(node.lineno)
+                    elif node.func.attr == "release":
+                        releases.setdefault(recv, []).append(node.lineno)
+            for recv, acq_lines in acquires.items():
+                rel_lines = sorted(releases.get(recv, []))
+                for a in sorted(acq_lines):
+                    nxt = [r for r in rel_lines if r > a]
+                    if nxt:
+                        spans.append((a, nxt[0]))
+            if not spans:
+                continue
+            for node in _own_nodes(func):
+                if not isinstance(node, ast.Yield) or node.value is None:
+                    continue
+                call = node.value
+                if not (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "wait"
+                ):
+                    continue
+                for a, r in spans:
+                    if a < node.lineno < r:
+                        yield self.diag(
+                            module,
+                            node,
+                            "condvar wait at line %d inside the critical "
+                            "section [%d, %d] in %r; release the lock before "
+                            "sleeping" % (node.lineno, a, r, func.name),
+                        )
+                        break
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+
+def lint_module(module: ModuleUnderLint, rules: Optional[Sequence[LintRule]] = None) -> List[Diagnostic]:
+    out = []
+    for rule in rules if rules is not None else RULES:
+        if not rule.applies_to(module.module):
+            continue
+        for diagnostic in rule.check(module):
+            if not module.suppressed(rule.name, diagnostic.line):
+                out.append(diagnostic)
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return out
+
+
+def lint_source(
+    source: str,
+    module: str = "repro.sim.testmodule",
+    path: str = "<memory>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Diagnostic]:
+    """Lint an in-memory source string (used by the unit tests)."""
+    return lint_module(ModuleUnderLint(source, module, path), rules)
+
+
+def _module_name(path: str) -> str:
+    """Dotted module for a file path: .../src/repro/sim/core.py -> repro.sim.core."""
+    normalized = path.replace("\\", "/")
+    parts = normalized.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    name = "/".join(parts)
+    if name.endswith(".py"):
+        name = name[:-3]
+    name = name.replace("/__init__", "")
+    return name.replace("/", ".")
+
+
+def lint_paths(paths: Iterable[str]) -> List[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
+    import os
+
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    diagnostics: List[Diagnostic] = []
+    for filename in sorted(files):
+        with open(filename, "r") as f:
+            source = f.read()
+        diagnostics.extend(
+            lint_module(ModuleUnderLint(source, _module_name(filename), filename))
+        )
+    return diagnostics

@@ -253,7 +253,8 @@ class KVellLike:
             ios.append(
                 self.env.device.write(nbytes, category="data", random=True)
             )
-        for page_key in read_pages:
+        # sorted(): set iteration order must not pick the device IO order.
+        for page_key in sorted(read_pages):
             ios.append(
                 self.env.device.read(PAGE_SIZE, category="read", random=True)
             )
@@ -292,7 +293,8 @@ class KVellLike:
             yield self.env.cpu.exec(ctx, 0.3e-6 * len(out), "read")
         # Scattered page fetches: KVell's scan penalty vs sorted LSM runs.
         ios = []
-        for page_key in pages:
+        # sorted(): set iteration order must not pick the device IO order.
+        for page_key in sorted(pages):
             ios.append(self.env.device.read(PAGE_SIZE, category="read", random=True))
             self.page_cache.put(page_key, True, PAGE_SIZE)
         if ios:

@@ -47,12 +47,20 @@ def _name_seed(name: str) -> int:
     return zlib.crc32(name.encode()) & 0xFFFF
 
 
+#: monotonic engine-instance counter: sanitizer access keys must be unique
+#: per *instance*, not per name — after a simulated crash the re-opened
+#: engine shares its name with the dead one, but its state is new, so its
+#: accesses must not appear to race with the pre-crash writers'.
+_instance_counter = iter(range(1, 1 << 62))
+
+
 class LSMEngine:
     """One LSM-tree KVS instance on a shared simulated machine."""
 
     def __init__(self, env: Env, name: str, options: Optional[EngineOptions] = None):
         self.env = env
         self.name = name
+        self._san_key = "engine:%s#%d" % (name, next(_instance_counter))
         self.options = options or EngineOptions()
         self.costs = self.options.costs
         self.versions = VersionSet(env, name, self.options)
@@ -102,6 +110,12 @@ class LSMEngine:
         """Create or recover an engine and start its background threads."""
         engine = cls(env, name, options)
         yield from engine._recover(record_filter)
+        monitor = env.sim.monitor
+        if monitor is not None:
+            # Recovery touched the seq counter, WAL and memtable from the
+            # opening process; publish that history on the coordinator so
+            # the first writer's accesses are ordered after it.
+            monitor.on_sync(engine.coordinator)
         engine._start_background()
         return engine
 
@@ -178,12 +192,24 @@ class LSMEngine:
     # ------------------------------------------------------------------
 
     def allocate_seqs(self, n: int) -> range:
+        monitor = self.env.sim.monitor
+        if monitor is not None:
+            # The sequence counter is leader-private state: only the current
+            # group leader (or recovery, before any writer starts) may touch
+            # it.  A race here means two concurrent leaders.
+            monitor.on_access("%s:seq" % self._san_key, write=True, site="allocate_seqs")
         start = self.seq + 1
         self.seq += n
         return range(start, start + n)
 
     def publish_seqs(self, first: int, last: int) -> None:
-        """Make [first, last] visible once every lower seq is visible too."""
+        """Make [first, last] visible once every lower seq is visible too.
+
+        Deliberately *not* race-probed: the pending-publish min-heap makes
+        publication commutative — any arrival order of completed groups
+        yields the same visible_seq, which is the whole point of the
+        protocol (see docs/ANALYSIS.md).
+        """
         import heapq
 
         if last < first:
@@ -201,6 +227,10 @@ class LSMEngine:
             self.publish_cond.notify_all()
 
     def log_append(self, payload: bytes, rtype: int, gsn: int) -> None:
+        monitor = self.env.sim.monitor
+        if monitor is not None:
+            # The WAL writer's buffer is exclusive to the current leader.
+            monitor.on_access("%s:wal" % self._san_key, write=True, site="log_append")
         self.log_writer.append(payload, rtype, gsn)
 
     def maybe_flush_wal(self, ctx) -> Generator:
@@ -213,6 +243,18 @@ class LSMEngine:
     def apply_to_memtable(self, batch: WriteBatch, seqs) -> None:
         if not self.options.enable_memtable:
             return
+        monitor = self.env.sim.monitor
+        if monitor is not None:
+            if self.options.concurrent_memtable:
+                # Concurrent skiplist: internally synchronized, every insert
+                # is a happens-before edge (RocksDB's lock-free memtable).
+                monitor.on_sync(self.memtable)
+            else:
+                # Exclusive memtable (LevelDB mode): only one writer at a
+                # time may insert; overlap is a data race.
+                monitor.on_access(
+                    "%s:memtable" % self._san_key, write=True, site="apply_to_memtable"
+                )
         for (vtype, key, value), seq in zip(batch, seqs):
             self.memtable.add(seq, vtype, key, value)
 

@@ -138,6 +138,12 @@ class VersionSet:
 
     def log_and_apply(self, edit: VersionEdit) -> Generator:
         """Persist ``edit`` to the manifest (synced) and install the result."""
+        monitor = self.env.sim.monitor
+        if monitor is not None:
+            # Version installs are serialized under the engine's DB mutex in
+            # RocksDB; model the VersionSet as internally synchronized so
+            # flush and compaction installs order each other.
+            monitor.on_sync(self)
         self._manifest.append(edit.encode())
         yield from self._manifest.flush(category="manifest")
         self._apply(edit)

@@ -216,7 +216,9 @@ class P2KVSSystem:
             raise ValueError("unknown verb %r" % verb)
 
     def _async_put(self, ctx, key, value, collector) -> Generator:
-        yield self._window.acquire()
+        # The window slot is intentionally released by the completion
+        # callback below, not lexically — that is what makes the put async.
+        yield self._window.acquire()  # lint: disable=lock-pairing  (released in on_done)
         submitted = self.env.sim.now
         window = self._window
 

@@ -42,13 +42,16 @@ class Event:
     yielding it.
     """
 
-    __slots__ = ("sim", "_value", "_ok", "_callbacks")
+    __slots__ = ("sim", "_value", "_ok", "_callbacks", "_hb")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._callbacks: List[Callable[["Event"], None]] = []
+        #: happens-before clock stamped by the analysis monitor (if any) when
+        #: the event triggers; joined into the waiter's clock on resume.
+        self._hb = None
 
     @property
     def triggered(self) -> bool:
@@ -70,6 +73,9 @@ class Event:
             raise SimError("event already triggered")
         self._value = value
         self._ok = True
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_send(self)
         self.sim._queue_callbacks(self)
         return self
 
@@ -80,6 +86,9 @@ class Event:
             raise SimError("fail() requires an exception instance")
         self._value = exc
         self._ok = False
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_send(self)
         self.sim._queue_callbacks(self)
         return self
 
@@ -116,12 +125,18 @@ class Process(Event):
     between plain generator functions.
     """
 
-    __slots__ = ("gen", "name")
+    __slots__ = ("gen", "name", "held_locks")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        #: sim locks currently owned by this process (repro.sim.sync
+        #: maintains this); a process must release them before returning.
+        self.held_locks: List[Any] = []
+        monitor = sim.monitor
+        if monitor is not None:
+            monitor.on_spawn(self)
         # Kick off on the next loop iteration.
         sim._queue_deferred(self._resume_ok, None)
 
@@ -129,15 +144,25 @@ class Process(Event):
         self._step(lambda: self.gen.send(None if _event is None else _event.value))
 
     def _resume(self, event: Event) -> None:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_receive(self, event)
         if event.ok:
             self._step(lambda: self.gen.send(event.value))
         else:
             self._step(lambda: self.gen.throw(event.value))
 
     def _step(self, advance: Callable[[], Any]) -> None:
+        sim = self.sim
+        sim.current_process = self
         try:
             target = advance()
         except StopIteration as stop:
+            if self.held_locks:
+                # A finished generator can never release its locks, so every
+                # future acquirer would hang silently.  Fail loudly instead.
+                self._exit_holding_locks()
+                return
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
@@ -145,12 +170,27 @@ class Process(Event):
                 self.fail(exc)
             else:
                 # Nobody is waiting: surface the error out of Simulator.run().
-                self.sim._crash(exc)
+                sim._crash(exc)
             return
+        finally:
+            sim.current_process = None
         if not isinstance(target, Event):
             self._step_fail(target)
             return
         target.add_callback(self._resume)
+
+    def _exit_holding_locks(self) -> None:
+        names = ", ".join(repr(lock.name) for lock in self.held_locks)
+        exc = SimError(
+            "process %r exited while holding lock(s) %s: waiters would hang "
+            "forever; release before returning (or use try/finally)"
+            % (self.name, names)
+        )
+        # Deadlocked state is unrecoverable: surface the error even when a
+        # waiter exists, so Simulator.run() always fails fast.
+        if self._callbacks:
+            self.fail(exc)
+        self.sim._crash(exc)
 
     def _step_fail(self, target: Any) -> None:
         exc = SimError(
@@ -231,6 +271,24 @@ class Simulator:
         #: span recorder; the no-op default costs one branch per probe site
         #: and never advances simulated time (see repro.trace).
         self.tracer = NULL_TRACER
+        #: analysis hook (see repro.analysis.sanitizer); None = zero overhead.
+        self.monitor = None
+        #: the Process currently executing a step, or None in kernel context.
+        self.current_process: Optional["Process"] = None
+        #: seeded RNG for schedule perturbation; None keeps FIFO tie-break.
+        self._perturb_rng = None
+
+    def perturb_schedule(self, seed: int) -> None:
+        """Randomize delivery order of same-time events (seeded, reproducible).
+
+        Entries at *different* sim times are unaffected; FIFO order among
+        same-time entries — normally the insertion order — is replaced by a
+        seeded shuffle.  A correct model must produce the same final state
+        and metrics for every seed (see docs/ANALYSIS.md).
+        """
+        import random  # lint: disable=global-random  (seeded Random only)
+
+        self._perturb_rng = random.Random(seed)
 
     # -- time ------------------------------------------------------------
 
@@ -258,20 +316,26 @@ class Simulator:
 
     # -- scheduling internals ----------------------------------------------
 
+    def _push(self, when: float, target: Any, value: Any) -> None:
+        """Heap insert.  Ties at equal ``when`` break FIFO by default; under
+        schedule perturbation a seeded random rank shuffles same-time order
+        (the trailing seq keeps runs reproducible per seed)."""
+        self._seq += 1
+        rng = self._perturb_rng
+        rank = rng.random() if rng is not None else 0.0
+        heapq.heappush(self._heap, (when, rank, self._seq, target, value))
+
     def _schedule(self, delay: float, event: Event, value: Any) -> None:
         """Trigger ``event`` (successfully) after ``delay`` seconds."""
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event, value))
+        self._push(self._now + delay, event, value)
 
     def _queue_callbacks(self, event: Event) -> None:
         """Deliver an already-triggered event's callbacks at the current time."""
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now, self._seq, event, _PENDING))
+        self._push(self._now, event, _PENDING)
 
     def _queue_deferred(self, fn: Callable, arg: Any) -> None:
         """Run ``fn(arg)`` at the current time on the next loop iteration."""
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now, self._seq, (fn, arg), _PENDING))
+        self._push(self._now, (fn, arg), _PENDING)
 
     def _crash(self, exc: BaseException) -> None:
         if self._pending_error is None:
@@ -289,7 +353,7 @@ class Simulator:
             if self._pending_error is not None:
                 err, self._pending_error = self._pending_error, None
                 raise err
-            when, _seq, target, value = heap[0]
+            when, _rank, _seq, target, value = heap[0]
             if until is not None and when > until:
                 self._now = until
                 return

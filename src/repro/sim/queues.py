@@ -19,6 +19,11 @@ class QueueEmpty(Exception):
     """Raised by :meth:`FIFOQueue.try_pop` on an empty queue."""
 
 
+#: sanitizer access keys are per queue *instance*: a restarted system reuses
+#: queue names, and the dead consumer must not race the new one.
+_instance_counter = iter(range(1, 1 << 62))
+
+
 class FIFOQueue:
     """An unbounded FIFO queue of items with blocking get.
 
@@ -30,6 +35,7 @@ class FIFOQueue:
     def __init__(self, sim: Simulator, name: str = "queue"):
         self.sim = sim
         self.name = name
+        self._san_key = "queue:%s#%d" % (name, next(_instance_counter))
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self.total_enqueued = 0
@@ -43,7 +49,14 @@ class FIFOQueue:
         return not self._items
 
     def put(self, item: Any) -> None:
-        """Enqueue ``item``; never blocks (queue is unbounded)."""
+        """Enqueue ``item``; never blocks (queue is unbounded).
+
+        ``put``/``get`` model a thread-safe (internally locked) queue, so a
+        monitor sees them as synchronization edges.
+        """
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         self.total_enqueued += 1
         if self._getters:
             self._getters.popleft().succeed(item)
@@ -54,6 +67,9 @@ class FIFOQueue:
 
     def get(self) -> Event:
         """Return an event yielding the next item (blocks while empty)."""
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         ev = self.sim.event()
         if self._items:
             ev.succeed(self._items.popleft())
@@ -61,12 +77,23 @@ class FIFOQueue:
             self._getters.append(ev)
         return ev
 
+    # peek/try_pop are the OBM's lock-free head inspection (Algorithm 1):
+    # they are safe only from the queue's single consumer, so the monitor
+    # treats them as plain accesses to shared state — two unsynchronized
+    # consumers show up as a data race.
+
     def peek(self) -> Optional[Any]:
         """The head item without removing it, or None if empty."""
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_access(self._san_key, write=False, site="FIFOQueue.peek")
         return self._items[0] if self._items else None
 
     def try_pop(self) -> Any:
         """Pop the head item; raise :class:`QueueEmpty` if empty."""
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_access(self._san_key, write=True, site="FIFOQueue.try_pop")
         if not self._items:
             raise QueueEmpty(self.name)
         return self._items.popleft()
@@ -86,6 +113,7 @@ class PriorityQueue:
         self._heapq = heapq
         self.sim = sim
         self.name = name
+        self._san_key = "queue:%s#%d" % (name, next(_instance_counter))
         self._items: list = []
         self._getters: Deque[Event] = deque()
         self._seq = 0
@@ -100,6 +128,9 @@ class PriorityQueue:
         return not self._items
 
     def put(self, item: Any, priority: float = 0.0) -> None:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         self.total_enqueued += 1
         if self._getters:
             self._getters.popleft().succeed(item)
@@ -110,6 +141,9 @@ class PriorityQueue:
             self.max_depth = len(self._items)
 
     def get(self) -> Event:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         ev = self.sim.event()
         if self._items:
             ev.succeed(self._heapq.heappop(self._items)[2])
@@ -118,9 +152,15 @@ class PriorityQueue:
         return ev
 
     def peek(self) -> Optional[Any]:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_access(self._san_key, write=False, site="PriorityQueue.peek")
         return self._items[0][2] if self._items else None
 
     def try_pop(self) -> Any:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_access(self._san_key, write=True, site="PriorityQueue.try_pop")
         if not self._items:
             raise QueueEmpty(self.name)
         return self._heapq.heappop(self._items)[2]

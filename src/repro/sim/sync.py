@@ -4,6 +4,11 @@ All primitives hand off in FIFO order, which keeps runs deterministic.  Wait
 time can be *accounted* against a :class:`~repro.sim.cpu.ThreadContext`
 category (e.g. ``"wal_lock"``), which is how the latency breakdown of the
 paper's Figure 6 is measured.
+
+Every primitive reports to ``sim.monitor`` (when one is installed — see
+:mod:`repro.analysis.sanitizer`): lock acquisition requests feed the
+lock-order (potential deadlock) graph, and every grant/release/notify is a
+happens-before edge for the vector-clock race detector.
 """
 
 from collections import deque
@@ -22,35 +27,66 @@ class Lock:
         yield lock.acquire(ctx, "wal_lock")
         ...critical section...
         lock.release()
+
+    The kernel tracks which :class:`~repro.sim.core.Process` owns the lock:
+    a process that returns while still holding one fails the run with a
+    clear :class:`SimError` instead of silently hanging its waiters.
     """
 
     def __init__(self, sim: Simulator, name: str = "lock"):
         self.sim = sim
         self.name = name
         self._locked = False
-        self._waiters: Deque[Tuple[Event, Optional[object], Optional[str], float]] = deque()
+        self._owner = None  # Process holding the lock, when acquired inside one
+        self._waiters: Deque[Tuple[Event, Optional[object], Optional[str], float, object]] = deque()
 
     @property
     def locked(self) -> bool:
         return self._locked
 
+    @property
+    def owner(self):
+        """The Process currently holding the lock (None outside processes)."""
+        return self._owner
+
     def acquire(self, ctx=None, category: Optional[str] = None) -> Event:
         """Return an event that triggers once the lock is held by the caller."""
-        ev = self.sim.event()
+        sim = self.sim
+        ev = sim.event()
+        proc = sim.current_process
+        monitor = sim.monitor
+        if monitor is not None:
+            monitor.on_lock_request(self, proc)
         if not self._locked:
             self._locked = True
+            self._grant(proc)
+            if monitor is not None:
+                monitor.on_sync(self)
             ev.succeed()
         else:
-            self._waiters.append((ev, ctx, category, self.sim.now))
+            self._waiters.append((ev, ctx, category, sim.now, proc))
         return ev
+
+    def _grant(self, proc) -> None:
+        self._owner = proc
+        if proc is not None:
+            proc.held_locks.append(self)
 
     def release(self) -> None:
         if not self._locked:
             raise SimError("release of unlocked %s" % self.name)
+        owner = self._owner
+        if owner is not None and self in owner.held_locks:
+            owner.held_locks.remove(self)
+        self._owner = None
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         if self._waiters:
-            ev, ctx, category, since = self._waiters.popleft()
+            ev, ctx, category, since, proc = self._waiters.popleft()
             if ctx is not None and category is not None:
                 ctx.account_wait(category, self.sim.now - since)
+            self._grant(proc)
             ev.succeed()
         else:
             self._locked = False
@@ -74,6 +110,9 @@ class Semaphore:
 
     def acquire(self) -> Event:
         ev = self.sim.event()
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
@@ -84,6 +123,9 @@ class Semaphore:
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimError("release of idle %s" % self.name)
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_sync(self)
         if self._waiters:
             self._waiters.popleft().succeed()
         else:
@@ -94,7 +136,9 @@ class Condition:
     """A condition variable decoupled from any particular lock.
 
     ``wait()`` returns an event; ``notify_all()`` wakes every current waiter.
-    Callers re-check their predicate after waking, as with any condvar.
+    Wakeup order is FIFO in wait order (deterministic).  Callers re-check
+    their predicate after waking, as with any condvar — the lint rule
+    ``condvar-wait-loop`` enforces the re-check structurally.
     """
 
     def __init__(self, sim: Simulator, name: str = "cond"):
@@ -115,6 +159,9 @@ class Condition:
         return ev
 
     def notify(self, n: int = 1) -> None:
+        monitor = self.sim.monitor
+        if monitor is not None and self._waiters:
+            monitor.on_sync(self)
         for _ in range(min(n, len(self._waiters))):
             self._waiters.popleft().succeed()
 
@@ -140,6 +187,11 @@ class Barrier:
 
     def arrive(self) -> Event:
         """Register arrival; yield the returned event to wait for the rest."""
+        monitor = self.sim.monitor
+        if monitor is not None:
+            # Each arrival joins the barrier clock, so the final release
+            # carries every participant's history (all-to-all ordering).
+            monitor.on_sync(self)
         self._arrived += 1
         ev = self._event
         if self._arrived >= self.parties:

@@ -86,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="p2kvs asynchronous write window (0 = synchronous)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the lock-order and data-race sanitizers; exit non-zero "
+        "on any finding (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="perturb same-time event delivery order with seed N; results "
+        "must be identical for every N (determinism check)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
     parser.add_argument(
         "--trace-out",
@@ -112,11 +126,25 @@ def _make_env(args):
         if args.page_cache_mb is not None
         else 1 << 40
     )
-    return make_env(
+    env = make_env(
         n_cores=args.cores,
         device_spec=DEVICES[args.device],
         page_cache_bytes=page_cache,
     )
+    if getattr(args, "schedule_seed", None) is not None:
+        env.sim.perturb_schedule(args.schedule_seed)
+    if getattr(args, "sanitize", False):
+        from repro.analysis.sanitizer import install_sanitizer
+
+        install_sanitizer(env)
+    return env
+
+
+def _check_sanitizer(env) -> None:
+    """Fail the run (SanitizerError) if --sanitize recorded any finding."""
+    monitor = env.sim.monitor
+    if monitor is not None and hasattr(monitor, "check"):
+        monitor.check()
 
 
 def _scaled(maker):
@@ -192,6 +220,7 @@ def run_benchmark(name: str, args, trace_path: Optional[str] = None) -> dict:
     metrics = run_closed_loop(
         env, system, split_stream(_ops_for(name, args), args.threads)
     )
+    _check_sanitizer(env)
     result = {
         "benchmark": name,
         "system": system.name,

@@ -1,0 +1,70 @@
+"""Determinism lint CLI.
+
+Usage::
+
+    python -m repro.tools.lint [paths...]     # default: src
+    python -m repro.tools.lint --list-rules
+
+Exit status 1 when any diagnostic is emitted (``make lint`` fails CI).
+Suppress a single finding with ``# lint: disable=<rule>  (reason)`` on the
+offending line; see docs/ANALYSIS.md for the rule catalogue.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import RULES, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.lint",
+        description="determinism lint for the simulation stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named rule(s)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        width = max(len(rule.name) for rule in RULES)
+        for rule in sorted(RULES, key=lambda r: r.name):
+            scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+            print("%-*s  %s  [%s]" % (width, rule.name, rule.description, scope))
+        return 0
+    diagnostics = lint_paths(args.paths)
+    if args.rule:
+        wanted = set(args.rule)
+        diagnostics = [d for d in diagnostics if d.rule in wanted]
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if diagnostics:
+        print(
+            "%d finding(s); suppress with '# lint: disable=<rule>  (reason)' "
+            "only when the pattern is provably safe" % len(diagnostics),
+            file=sys.stderr,
+        )
+        return 1
+    print("lint: clean (%d rules)" % len(RULES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from repro.tools.dbbench import (
     DEVICES,
     SYSTEMS,
     _build_system,
+    _check_sanitizer,
     _make_env,
     _trace_path,
 )
@@ -54,6 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-obm", action="store_true")
     parser.add_argument("--async-window", type=int, default=0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the lock-order and data-race sanitizers; exit non-zero "
+        "on any finding (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="perturb same-time event delivery order with seed N; results "
+        "must be identical for every N (determinism check)",
+    )
     parser.add_argument("--json", metavar="PATH")
     parser.add_argument(
         "--trace-out",
@@ -80,6 +95,7 @@ def run_workload(name: str, args, trace_path: Optional[str] = None) -> dict:
     for i, op in enumerate(ops):
         streams[i % args.threads].append(op)
     metrics = run_closed_loop(env, system, streams)
+    _check_sanitizer(env)
     result = {
         "workload": name,
         "system": system.name,
