@@ -4,13 +4,24 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench lint sanitize perturb-smoke ci trace-demo clean
+.PHONY: test bench bench-regress bench-regress-update lint sanitize \
+	perturb-smoke ci trace-demo stats-demo clean
 
 test:
 	$(PY) -m pytest -x -q
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Pinned perf matrix vs the committed baseline (benchmarks/BENCH_p2kvs.json):
+# writes BENCH_p2kvs.json + per-config stats exports under results/, and
+# exits non-zero on a >10% throughput drop.  See docs/METRICS.md.
+bench-regress:
+	$(PY) -m benchmarks.regress
+
+# Refresh the committed baseline after an intentional perf-model change.
+bench-regress-update:
+	$(PY) -m benchmarks.regress --update
 
 # Determinism lint: AST rules over src/ (wall clocks, global RNGs, unordered
 # iteration, lock pairing, condvar discipline).  See docs/ANALYSIS.md.
@@ -34,7 +45,7 @@ perturb-smoke:
 	@rm -f .perturb-1.out .perturb-2.out .perturb-3.out
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint test perturb-smoke
+ci: lint test perturb-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -44,6 +55,14 @@ trace-demo:
 	    --cores 16 --benchmarks fillrandom --num 5000 \
 	    --trace-out trace-demo.json
 
+# Run YCSB-A with the observability layer on: prints the stall/utilization
+# timeline and writes stats-demo.{json,prom,csv}.  See docs/METRICS.md.
+stats-demo:
+	$(PY) -m repro.tools.ycsb --workload A --system p2kvs --workers 8 \
+	    --threads 16 --records 8000 --ops 8000 \
+	    --stats --stats-interval-ms 0.1 --stats-out stats-demo
+
 clean:
 	rm -f trace-demo.json quickstart-trace.json .perturb-*.out
+	rm -f BENCH_p2kvs.json stats-demo.json stats-demo.prom stats-demo.csv
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

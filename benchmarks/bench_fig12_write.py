@@ -12,6 +12,7 @@ from benchmarks.common import (
     assert_shapes,
     lsm_adapter,
     lsm_options,
+    measured_run,
     once,
     report,
 )
@@ -20,7 +21,6 @@ from repro.harness import (
     P2KVSSystem,
     SingleInstanceSystem,
     open_system,
-    run_closed_loop,
 )
 from repro.harness.report import ShapeCheck, format_qps, format_table
 from repro.workloads import fillrandom, split_stream
@@ -52,18 +52,18 @@ def run_system(kind: str):
             ),
         )
     streams = split_stream(fillrandom(N_OPS), N_THREADS)
-    return run_closed_loop(env, system, streams)
+    return measured_run(env, system, streams), env
 
 
 def run_fig12():
-    return {
-        kind: run_system(kind)
-        for kind in ("rocksdb", "pebblesdb", "p2kvs-4", "p2kvs-8")
-    }
+    out, envs = {}, {}
+    for kind in ("rocksdb", "pebblesdb", "p2kvs-4", "p2kvs-8"):
+        out[kind], envs[kind] = run_system(kind)
+    return out, envs
 
 
 def test_fig12_random_write(benchmark):
-    out = once(benchmark, run_fig12)
+    out, envs = once(benchmark, run_fig12)
     rows = [
         [
             kind,
@@ -134,4 +134,6 @@ def test_fig12_random_write(benchmark):
                 1.2,
             ),
         ],
+        # Surface the p2KVS-8 run's stall/backlog events next to the verdicts.
+        env=envs["p2kvs-8"],
     )

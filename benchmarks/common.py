@@ -28,6 +28,7 @@ from repro.harness import (
     run_closed_loop,
     scaled_options,
 )
+from repro.harness.metrics import scoped_collector
 from repro.harness.report import ShapeCheck, format_qps, format_table
 from repro.workloads import fillrandom, split_stream
 
@@ -76,17 +77,44 @@ def report(name: str, text: str) -> None:
         f.write(text + "\n")
 
 
-def assert_shapes(name: str, checks: List[ShapeCheck]) -> None:
-    """Record shape checks and fail the bench if a claim's band is missed."""
+def measured_run(env, system, streams, **kwargs):
+    """Closed-loop run under a scoped collector: the env's measuring slot is
+    released even when the run (or a shape assertion inside it) raises, so a
+    failed bench cannot wedge the env for the next window."""
+    with scoped_collector(env, system.name) as collector:
+        return run_closed_loop(env, system, streams, collector=collector, **kwargs)
+
+
+def assert_shapes(name: str, checks: List[ShapeCheck], env=None) -> None:
+    """Record shape checks and fail the bench if a claim's band is missed.
+
+    When ``env`` is given, the registry's write-stall / compaction-backlog
+    event summary is appended to ``results/<name>.checks.txt`` so backpressure
+    behind a shape miss is visible next to the verdicts.
+    """
     table = format_table(
         ["shape check", "paper", "measured", "accept band", "verdict"],
         [c.row() for c in checks],
     )
+    text = table + "\n"
+    if env is not None:
+        summary = env.metrics.events.summary()
+        lines = ["", "observability events:"]
+        if summary:
+            for kind in sorted(summary):
+                row = summary[kind]
+                lines.append(
+                    "  %s: count=%d total=%.3f ms active=%d"
+                    % (kind, row["count"], row["total_seconds"] * 1e3, row["active"])
+                )
+        else:
+            lines.append("  (none recorded)")
+        text += "\n".join(lines) + "\n"
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "%s.checks.txt" % name), "w") as f:
-        f.write(table + "\n")
+        f.write(text)
     print()
-    print(table)
+    print(text)
     missed = [c for c in checks if not c.ok]
     assert not missed, "shape checks missed: %s" % [c.name for c in missed]
 

@@ -1,0 +1,184 @@
+"""Pinned benchmark matrix with a tolerance-gated baseline comparison.
+
+Runs a fixed workload matrix (fill / read / YCSB-A on the Optane preset,
+p2KVS with 8 workers) through the same entry points the CLIs use, writes one
+machine-readable artifact (``BENCH_p2kvs.json``: throughput, p99 latency and
+the key perf-context counters per config), and compares it against the
+committed baseline.  A throughput drop beyond the tolerance band fails the
+run — ``make bench-regress`` wires this into CI, so perf-model regressions
+are loud instead of silent.
+
+The simulation is deterministic, so run-to-run noise is zero: the tolerance
+band (default 10%) exists to absorb *intentional* cost-model changes.  When
+a change legitimately moves the numbers, refresh the baseline::
+
+    make bench-regress-update      # or: python -m benchmarks.regress --update
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.tools import dbbench, ycsb
+
+#: the committed reference artifact (refreshed via --update).
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_p2kvs.json")
+
+#: counter suffixes folded into the artifact, summed across components.
+KEY_COUNTERS = (
+    "wal_appends",
+    "wal_bytes",
+    "flushes",
+    "compactions",
+    "batches",
+    "requests",
+    "stalls",
+)
+
+#: the pinned matrix: (config name, tool, argv).  Optane preset, p2kvs-8,
+#: 16 user threads, fixed op counts and seeds — change nothing casually:
+#: every edit here needs a baseline refresh.
+_COMMON = ["--system", "p2kvs", "--workers", "8", "--threads", "16",
+           "--device", "nvme", "--seed", "0",
+           "--stats", "--stats-interval-ms", "0.1"]
+MATRIX = (
+    ("fill", "dbbench", ["--benchmarks", "fillrandom", "--num", "8000"] + _COMMON),
+    ("read", "dbbench", ["--benchmarks", "readrandom", "--num", "8000"] + _COMMON),
+    ("ycsb-a", "ycsb", ["--workload", "A", "--records", "8000", "--ops", "8000"] + _COMMON),
+)
+
+
+def _key_counters(counters: Dict[str, float]) -> Dict[str, float]:
+    """Sum registry counters by suffix across engines/workers."""
+    out: Dict[str, float] = {}
+    for name, value in counters.items():
+        suffix = name.rsplit(".", 1)[-1]
+        if suffix in KEY_COUNTERS:
+            out[suffix] = out.get(suffix, 0.0) + value
+    return dict(sorted(out.items()))
+
+
+def run_matrix(stats_dir: Optional[str] = None) -> Dict[str, dict]:
+    results: Dict[str, dict] = {}
+    for name, tool, argv in MATRIX:
+        stats_base = os.path.join(stats_dir, name) if stats_dir else name
+        if tool == "dbbench":
+            args = dbbench.build_parser().parse_args(argv)
+            raw = dbbench.run_benchmark("fillrandom" if name == "fill" else "readrandom",
+                                        args, stats_base=stats_base)
+        else:
+            args = ycsb.build_parser().parse_args(argv)
+            raw = ycsb.run_workload("A", args, stats_base=stats_base)
+        results[name] = {
+            "qps": raw["qps"],
+            "p99_latency_us": raw["p99_latency_us"],
+            "simulated_seconds": raw["simulated_seconds"],
+            "counters": _key_counters(raw.get("counters", {})),
+            "events": raw.get("events", {}),
+        }
+        print("%-8s %12.0f qps   p99 %8.1f us" % (name, raw["qps"], raw["p99_latency_us"]))
+    return results
+
+
+def compare(
+    current: Dict[str, dict], baseline: Dict[str, dict], tolerance: float
+) -> List[str]:
+    """Return one failure line per config whose throughput regressed."""
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append("config %r missing from current run" % name)
+            continue
+        floor = base["qps"] * (1.0 - tolerance)
+        if cur["qps"] < floor:
+            failures.append(
+                "%s: throughput %.0f qps is %.1f%% below baseline %.0f qps "
+                "(tolerance %.0f%%)"
+                % (
+                    name,
+                    cur["qps"],
+                    100.0 * (1.0 - cur["qps"] / base["qps"]),
+                    base["qps"],
+                    tolerance * 100.0,
+                )
+            )
+        elif cur["qps"] > base["qps"] * (1.0 + tolerance):
+            print(
+                "note: %s improved %.1f%% over baseline — consider --update"
+                % (name, 100.0 * (cur["qps"] / base["qps"] - 1.0))
+            )
+        base_p99, cur_p99 = base["p99_latency_us"], cur["p99_latency_us"]
+        if base_p99 > 0 and cur_p99 > base_p99 * (1.0 + tolerance):
+            print(
+                "note: %s p99 latency rose %.1f%% (%.1f -> %.1f us); not gated"
+                % (name, 100.0 * (cur_p99 / base_p99 - 1.0), base_p99, cur_p99)
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.regress",
+        description="pinned perf matrix with baseline comparison",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_p2kvs.json", help="artifact path to write"
+    )
+    parser.add_argument(
+        "--baseline", default=BASELINE, help="committed reference artifact"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative throughput drop before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    parser.add_argument(
+        "--stats-dir",
+        default="results",
+        help="directory for the per-config stats exports (json/prom/csv)",
+    )
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.stats_dir, exist_ok=True)
+    results = run_matrix(stats_dir=args.stats_dir)
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+    print("wrote %s" % args.out)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(results, f, indent=2, sort_keys=True)
+        print("updated baseline %s" % args.baseline)
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(
+            "no baseline at %s; run with --update to create it" % args.baseline,
+            file=sys.stderr,
+        )
+        return 2
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    failures = compare(results, baseline, args.tolerance)
+    for line in failures:
+        print("REGRESSION: %s" % line, file=sys.stderr)
+    if failures:
+        return 1
+    print("bench-regress: all %d configs within tolerance" % len(baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -460,6 +460,54 @@ class YieldWaitInCriticalRule(LintRule):
                         break
 
 
+@register
+class AdhocMetricsRule(LintRule):
+    """Engine/core/storage instrumentation must go through the env's
+    StatsRegistry (``env.metrics`` — see docs/METRICS.md): a bare
+    ``Counter()``/``Histogram()`` or a benchmark collector threaded into a
+    component is invisible to the sampler and the exporters, so the metric
+    silently disappears from every stats artifact."""
+
+    name = "adhoc-metrics"
+    description = (
+        "no ad-hoc Counter()/Histogram() construction or collector.record(...)"
+        " calls in engine/core/storage — register instruments on env.metrics"
+    )
+    scopes = ("repro.engine", "repro.core", "repro.storage")
+
+    ADHOC_CONSTRUCTORS = {"Counter", "Histogram"}
+    COLLECTOR_METHODS = {"record", "record_latency", "note_memory"}
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self.ADHOC_CONSTRUCTORS
+            ):
+                yield self.diag(
+                    module,
+                    node,
+                    "%s() is an ad-hoc stats object the registry cannot see; "
+                    "use env.metrics.group(...) / env.metrics.histogram(...)"
+                    % node.func.id,
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.COLLECTOR_METHODS
+                and "collector" in _dotted(node.func.value).lower()
+            ):
+                yield self.diag(
+                    module,
+                    node,
+                    "%s.%s() threads a benchmark collector through a "
+                    "component; components record into env.metrics and the "
+                    "harness reads the registry"
+                    % (_dotted(node.func.value), node.func.attr),
+                )
+
+
 # ---------------------------------------------------------------------------
 # runners
 # ---------------------------------------------------------------------------

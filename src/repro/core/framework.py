@@ -36,6 +36,7 @@ from repro.core.txn import GsnManager, TransactionLog
 from repro.core.worker import Worker
 from repro.engine.batch import WriteBatch
 from repro.engine.env import Env
+from repro.metrics.perf_context import PerfContext
 from repro.storage.wal import RECORD_STANDALONE, RECORD_TXN
 
 __all__ = ["P2KVS"]
@@ -64,6 +65,11 @@ class P2KVS:
         self.gsn = gsn
         self.scan_strategy = scan_strategy
         self.name = name
+        # Aggregate OBM backlog across every worker queue (Figure 9a's
+        # accessing layer), snapshotted by the sim-time sampler.
+        env.metrics.gauge(
+            "p2kvs.obm.queue_depth", lambda: sum(len(w.queue) for w in self.workers)
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -147,18 +153,29 @@ class P2KVS:
                 ctx.track,
                 args=self._trace_args(request, worker_id),
             )
+        prev_perf = ctx.perf
+        if self.env.metrics.perf_enabled:
+            # The request's perf context also rides the submitting user
+            # thread, so submit CPU and the request_wait land in it too.
+            request.perf = ctx.perf = PerfContext()
         yield self.env.cpu.exec(ctx, SUBMIT_COST, "submit")
         request.future = self.env.sim.event()
         self.workers[worker_id].submit(request)
         waited_since = self.env.sim.now
         result = yield request.future
         ctx.account_wait("request_wait", self.env.sim.now - waited_since)
+        if request.perf is not None:
+            ctx.perf = prev_perf
         if request.trace is not None:
+            if request.perf is not None:
+                request.trace.set(perf=request.perf.as_dict())
             request.trace.finish()
         return result
 
     def _submit_async(self, ctx, request: Request, worker_id: int) -> Generator:
         tracer = self.env.sim.tracer
+        if self.env.metrics.perf_enabled:
+            request.perf = PerfContext()
         if tracer.enabled:
             # Async requests overlap on the submitting thread's track, so the
             # span is an async pair, closed from the completion callback.
@@ -172,6 +189,8 @@ class P2KVS:
             user_callback = request.callback
 
             def _finish_trace(result):
+                if request.perf is not None:
+                    span.set(perf=request.perf.as_dict())
                 span.finish()
                 if user_callback is not None:
                     user_callback(result)

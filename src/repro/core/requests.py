@@ -71,6 +71,7 @@ class Request:
         "submit_time",
         "trace",
         "trace_queue",
+        "perf",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class Request:
         self.submit_time = 0.0
         self.trace = None  # end-to-end request span, when tracing
         self.trace_queue = None  # queue-residency span, when tracing
+        self.perf = None  # PerfContext, when env.metrics.perf_enabled
 
     @property
     def merge_class(self) -> str:

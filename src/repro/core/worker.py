@@ -20,8 +20,8 @@ from repro.core.requests import (
     WRITE_CLASS,
 )
 from repro.engine.batch import WriteBatch
+from repro.metrics.perf_context import PerfContext
 from repro.sim.queues import FIFOQueue
-from repro.sim.stats import Counter, Histogram
 
 __all__ = ["Worker"]
 
@@ -51,8 +51,16 @@ class Worker:
         self.ctx = env.cpu.new_thread(
             "p2kvs-worker-%d" % worker_id, kind="worker", pinned=core
         )
-        self.counters = Counter()
-        self.batch_sizes = Histogram()
+        # Registry-backed stats: the counter family and OBM batch-size
+        # histogram live under "p2kvs.worker-<id>.*" machine-wide; the queue
+        # depth is a gauge the sim-time sampler snapshots.
+        self.counters = env.metrics.group("p2kvs.worker-%d" % worker_id, fresh=True)
+        self.batch_sizes = env.metrics.histogram(
+            "p2kvs.worker-%d.batch_size" % worker_id, fresh=True
+        )
+        env.metrics.gauge(
+            "p2kvs.worker-%d.queue_depth" % worker_id, lambda: len(self.queue)
+        )
         #: gsn -> pre-transaction snapshot seq, for read-committed isolation:
         #: while a transaction's updates are applied-but-uncommitted on this
         #: instance, reads are served from the snapshot taken before them.
@@ -101,6 +109,16 @@ class Worker:
             self.batch_sizes.record(len(batch))
             self.counters.add("batches")
             self.counters.add("requests", len(batch))
+            if self.env.metrics.perf_enabled:
+                # One perf context per executed batch: the engine layers below
+                # accumulate into it via ctx.perf, and _complete merges it
+                # into each member request (batch-level work is shared, so
+                # every member sees the whole batch's counts; batch_size
+                # records the denominator).
+                batch_perf = self.ctx.perf = PerfContext()
+                batch_perf.add("batch_size", len(batch))
+            else:
+                batch_perf = None
             span = None
             if tracer.enabled:
                 for r in batch:
@@ -114,6 +132,8 @@ class Worker:
                     args={"batch": len(batch), "op": batch[0].op},
                 )
             yield from self._execute(batch)
+            if batch_perf is not None:
+                self.ctx.perf = None
             if span is not None:
                 span.finish()
 
@@ -204,6 +224,10 @@ class Worker:
         self._complete(request, result)
 
     def _complete(self, request: Request, result) -> None:
+        # Merge the batch's accumulated perf into the request *before* the
+        # future/callback fires, so span attachment sees the final counts.
+        if request.perf is not None and self.ctx.perf is not None:
+            request.perf.merge(self.ctx.perf)
         if request.future is not None:
             request.future.succeed(result)
         if request.callback is not None:

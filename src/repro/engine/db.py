@@ -29,7 +29,6 @@ from repro.engine.iterator import LevelCursor, MemTableCursor, MergingIterator
 from repro.engine.options import EngineOptions
 from repro.engine.version import FileMeta, VersionEdit, VersionSet
 from repro.engine.write_group import WriteGroupCoordinator
-from repro.sim.stats import Counter
 from repro.sim.sync import Condition, Lock
 from repro.storage.block_cache import BlockCache
 from repro.storage.memtable import FOUND, MemTable, NOT_FOUND
@@ -89,11 +88,38 @@ class LSMEngine:
         self.stall_cond = Condition(env.sim, "%s-stall" % name)
         self.flush_cond = Condition(env.sim, "%s-flush" % name)
         self.compact_cond = Condition(env.sim, "%s-compact" % name)
-        self.counters = Counter()
+        # Counter family in the machine-wide registry ("engine.<name>.*");
+        # fresh=True so a re-opened engine (post-crash) starts at zero like
+        # its dead namesake did.
+        self.counters = env.metrics.group("engine.%s" % name, fresh=True)
         self.snapshots: List[int] = []
         self._compaction_pacer = 0.0  # token-bucket tail for the rate limiter
         self._flush_busy = 0
+        self._stall_depth = 0  # writers currently blocked in maybe_stall
+        self._backlog_token: Optional[int] = None
         self._bg_threads: List = []
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        registry = self.env.metrics
+        prefix = "engine.%s" % self.name
+        registry.gauge(
+            "%s.memtable_bytes" % prefix, lambda: self.memtable.approximate_size
+        )
+        registry.gauge(
+            "%s.immutable_memtables" % prefix, lambda: len(self.immutables)
+        )
+        registry.gauge(
+            "%s.l0_files" % prefix,
+            lambda: len(self.versions.current.level_files(0)),
+        )
+        registry.gauge("%s.stalled_writers" % prefix, lambda: self._stall_depth)
+        registry.gauge(
+            "%s.block_cache_bytes" % prefix, lambda: self.block_cache.used_bytes
+        )
+        registry.gauge(
+            "%s.block_cache_hit_rate" % prefix, lambda: self.block_cache.hit_rate
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -226,11 +252,16 @@ class LSMEngine:
         if advanced:
             self.publish_cond.notify_all()
 
-    def log_append(self, payload: bytes, rtype: int, gsn: int) -> None:
+    def log_append(self, payload: bytes, rtype: int, gsn: int, perf=None) -> None:
         monitor = self.env.sim.monitor
         if monitor is not None:
             # The WAL writer's buffer is exclusive to the current leader.
             monitor.on_access("%s:wal" % self._san_key, write=True, site="log_append")
+        self.counters.add("wal_appends")
+        self.counters.add("wal_bytes", len(payload))
+        if perf is not None:
+            perf.add("wal_appends")
+            perf.add("wal_bytes", len(payload))
         self.log_writer.append(payload, rtype, gsn)
 
     def maybe_flush_wal(self, ctx) -> Generator:
@@ -261,23 +292,47 @@ class LSMEngine:
     def maybe_stall(self, ctx) -> Generator:
         """Write backpressure: memtable backlog and L0 buildup."""
         opts = self.options
+        events = self.env.metrics.events
         while not self.closing:
             l0 = len(self.versions.current.level_files(0))
             if len(self.immutables) >= opts.max_write_buffer_number:
                 self.counters.add("stall_memtable")
-                yield self.stall_cond.wait(ctx, "stall")
+                yield from self._stalled_wait(ctx, events, "memtable")
                 continue
             if l0 >= opts.l0_stop_trigger:
                 self.counters.add("stall_l0_stop")
-                yield self.stall_cond.wait(ctx, "stall")
+                yield from self._stalled_wait(ctx, events, "l0_stop")
                 continue
             break
         l0 = len(self.versions.current.level_files(0))
         if l0 >= opts.l0_slowdown_trigger:
             self.counters.add("stall_l0_slowdown")
+            self._stall_depth += 1
+            token = events.begin(
+                "write_stall",
+                self.env.sim.now,
+                engine=self.name,
+                reason="l0_slowdown",
+            )
             waited_since = self.env.sim.now
             yield self.env.sim.timeout(opts.slowdown_delay)
+            events.end(token, self.env.sim.now)
+            self._stall_depth -= 1
             ctx.account_wait("stall", self.env.sim.now - waited_since)
+
+    def _stalled_wait(self, ctx, events, reason: str) -> Generator:
+        """One full-stop stall episode: event-logged wait on the stall cond.
+
+        Inlined into maybe_stall's while loop, which re-checks the stall
+        predicates after every wakeup.
+        """
+        self._stall_depth += 1
+        token = events.begin(
+            "write_stall", self.env.sim.now, engine=self.name, reason=reason
+        )
+        yield self.stall_cond.wait(ctx, "stall")  # lint: disable=condvar-wait-loop  (caller's while re-checks)
+        events.end(token, self.env.sim.now)
+        self._stall_depth -= 1
 
     def post_write(self, ctx, members) -> Generator:
         """Group-completion bookkeeping: counters and memtable switch."""
@@ -305,6 +360,32 @@ class LSMEngine:
         )
         self._new_wal()
         self.flush_cond.notify_all()
+        self._update_backlog()
+
+    def _update_backlog(self) -> None:
+        """Open/close the compaction-backlog event at state transitions.
+
+        The backlog predicate is a cheap threshold probe (L0 width at the
+        slowdown trigger, or a full immutable-memtable quota) deliberately
+        independent of pick_compaction: probing the picker would advance its
+        round-robin cursor and change compaction order.
+        """
+        l0 = len(self.versions.current.level_files(0))
+        backlogged = (
+            l0 >= self.options.l0_slowdown_trigger
+            or len(self.immutables) >= self.options.max_write_buffer_number
+        )
+        if backlogged and self._backlog_token is None:
+            self._backlog_token = self.env.metrics.events.begin(
+                "compaction_backlog",
+                self.env.sim.now,
+                engine=self.name,
+                l0_files=l0,
+                immutables=len(self.immutables),
+            )
+        elif not backlogged and self._backlog_token is not None:
+            self.env.metrics.events.end(self._backlog_token, self.env.sim.now)
+            self._backlog_token = None
 
     # ------------------------------------------------------------------
     # Public write API
@@ -351,13 +432,19 @@ class LSMEngine:
         costs = self.costs
         page_cache = self.env.disk.page_cache
         version = self.versions.current
+        perf = ctx.perf
         for meta in version.level_files(0):  # newest first
             if not (meta.smallest <= key <= meta.largest):
                 continue
             if charge_probes:
                 yield self.env.cpu.exec(ctx, costs.get_table_probe, "read")
             state, value = yield from meta.table.get(
-                key, snapshot_seq, self.block_cache, self.env.device, page_cache
+                key,
+                snapshot_seq,
+                self.block_cache,
+                self.env.device,
+                page_cache,
+                perf=perf,
             )
             if state != NOT_FOUND:
                 return state, value
@@ -374,7 +461,12 @@ class LSMEngine:
                 if charge_probes:
                     yield self.env.cpu.exec(ctx, costs.get_table_probe, "read")
                 state, value = yield from meta.table.get(
-                    key, snapshot_seq, self.block_cache, self.env.device, page_cache
+                    key,
+                    snapshot_seq,
+                    self.block_cache,
+                    self.env.device,
+                    page_cache,
+                    perf=perf,
                 )
                 if state != NOT_FOUND:
                     return state, value
@@ -389,6 +481,8 @@ class LSMEngine:
         if snapshot_seq is None:
             snapshot_seq = self.visible_seq
         self.counters.add("read_requests")
+        if ctx.perf is not None:
+            ctx.perf.add("memtable_probes")
         # The instance-wide read critical section (block-cache LRU + version
         # bookkeeping): concurrent readers of one instance serialize here.
         yield self.read_lock.acquire(ctx, "read_lock")
@@ -413,6 +507,8 @@ class LSMEngine:
         if snapshot_seq is None:
             snapshot_seq = self.visible_seq
         self.counters.add("read_requests", len(keys))
+        if ctx.perf is not None:
+            ctx.perf.add("memtable_probes", len(keys))
         yield self.read_lock.acquire(ctx, "read_lock")
         yield self.env.cpu.exec(
             ctx,
@@ -660,6 +756,7 @@ class LSMEngine:
             (mt, log) for mt, log in self.immutables if mt is not memtable
         ]
         self.env.disk.delete_file(self._wal_path(log_number))
+        self._update_backlog()
         self.stall_cond.notify_all()
         self.compact_cond.notify_all()
         if span is not None:
@@ -754,6 +851,7 @@ class LSMEngine:
             self.counters.add(
                 "compaction_write_bytes", sum(t.file_size for t in outputs)
             )
+            self._update_backlog()
             if span is not None:
                 span.finish(
                     output_bytes=sum(t.file_size for t in outputs),

@@ -7,9 +7,10 @@ they contend for the same hardware exactly as the paper's co-located
 processes do.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.metrics.registry import StatsRegistry
 from repro.sim.core import Simulator
 from repro.sim.cpu import CPUSet
 from repro.sim.device import DeviceSpec, OPTANE_905P, StorageDevice
@@ -24,10 +25,29 @@ class Env:
     cpu: CPUSet
     device: StorageDevice
     disk: DiskImage
+    #: the machine's live-metrics namespace (see docs/METRICS.md).
+    metrics: StatsRegistry = field(default_factory=StatsRegistry)
 
     @property
     def now(self) -> float:
         return self.sim.now
+
+
+def _register_machine_stats(env: "Env") -> None:
+    """Register the shared-hardware gauges and cumulative providers that the
+    sampler and the MetricsCollector read (device + CPU views)."""
+    device, cpu, registry = env.device, env.cpu, env.metrics
+    registry.gauge("device.in_flight_ios", device.in_flight)
+    registry.gauge("device.queue_depth", lambda: len(device._queue))
+    registry.gauge("device.busy_channel_seconds", lambda: device.busy_channel_time)
+    registry.gauge("device.read_bytes_total", lambda: device.bytes_by_kind.get("read"))
+    registry.gauge("device.write_bytes_total", lambda: device.bytes_by_kind.get("write"))
+    registry.gauge("cpu.busy_cores", cpu.busy_cores)
+    registry.gauge("cpu.busy_seconds_total", cpu.total_busy_time)
+    registry.provider("device.bytes_by_category", device.bytes_by_category.as_dict)
+    registry.provider("device.bytes_by_kind", device.bytes_by_kind.as_dict)
+    registry.provider("device.io_count", device.io_count.as_dict)
+    registry.provider("cpu.busy_by_kind", lambda: dict(cpu.busy_by_kind))
 
 
 def make_env(
@@ -46,4 +66,6 @@ def make_env(
     )
     device = StorageDevice(sim, device_spec or OPTANE_905P, series_bin=series_bin)
     disk = DiskImage(sim, device, page_cache_bytes=page_cache_bytes)
-    return Env(sim=sim, cpu=cpu, device=device, disk=disk)
+    env = Env(sim=sim, cpu=cpu, device=device, disk=disk)
+    _register_machine_stats(env)
+    return env

@@ -181,7 +181,9 @@ class WriteGroupCoordinator:
                 payload = w.batch.encode()
                 encode_cpu += costs.wal_record_cost(len(payload))
                 wal_bytes += len(payload)
-                engine.log_append(payload, w.rtype, w.gsn)
+                # Attribute each member's WAL record to its own request's
+                # perf context, even though the leader writes them all.
+                engine.log_append(payload, w.rtype, w.gsn, perf=w.ctx.perf)
             yield self.cpu.exec(ctx, encode_cpu + costs.wal_write_setup, "wal")
             yield from engine.maybe_flush_wal(ctx)
             if wal_span is not None:
@@ -315,4 +317,6 @@ class WriteGroupCoordinator:
         self._apply_batch(writer, writer._seqs)  # type: ignore[attr-defined]
 
     def _apply_batch(self, writer: Writer, seqs) -> None:
+        if writer.ctx.perf is not None:
+            writer.ctx.perf.add("memtable_inserts", len(writer.batch))
         self.engine.apply_to_memtable(writer.batch, seqs)

@@ -5,15 +5,27 @@ start and end, and accumulates per-operation latencies, so trailing
 background work (compactions draining after the last op) does not pollute
 the measured window — mirroring how the paper measures throughput over the
 foreground run.
+
+The machine state is read through the env's :class:`~repro.metrics.registry.
+StatsRegistry` (the ``device.*``/``cpu.*`` providers and gauges registered by
+``make_env``), so the registry is the single source both the collector and
+the sim-time sampler consume.
+
+Windowing contract: at most one collector may be *measuring* an env at a
+time (overlapping windows would double-count cumulative deltas).  Use
+:func:`scoped_collector` to guarantee the slot is released even when a run
+raises, or :meth:`MetricsCollector.reset` to reuse/abandon a collector
+explicitly.
 """
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.sim.stats import Histogram
 from repro.trace.attribution import fig06_from_spans
 
-__all__ = ["Metrics", "MetricsCollector"]
+__all__ = ["Metrics", "MetricsCollector", "scoped_collector"]
 
 
 @dataclass
@@ -103,7 +115,8 @@ class MetricsCollector:
     windows — e.g. compaction bytes trailing from a preload phase would be
     double-counted into both results.  Sequential windows (preload collector
     finished, then a measured collector) are fine.  :meth:`start` asserts
-    this contract.
+    this contract; :meth:`reset` releases the slot and clears accumulated
+    state, and :func:`scoped_collector` wraps both in a context manager.
     """
 
     def __init__(self, env, system_name: str):
@@ -119,24 +132,55 @@ class MetricsCollector:
         self._core0: List[float] = []
         self.memory_peak = 0
 
+    # -- registry reads ----------------------------------------------------
+
+    def _provider(self, name: str) -> Dict[str, float]:
+        return self.env.metrics.providers[name]()
+
+    def _gauge(self, name: str) -> float:
+        return self.env.metrics.gauges[name].read()
+
+    # -- windowing ---------------------------------------------------------
+
     def start(self) -> None:
         active = getattr(self.env, "_active_collector", None)
         assert active is None or active is self, (
             "env already has an active MetricsCollector (%r); overlapping "
-            "windows double-count cumulative deltas — finish it first"
+            "windows double-count cumulative deltas — finish it, or use "
+            "reset()/scoped_collector() to release the slot"
             % (active.system_name,)
         )
         self.env._active_collector = self
         self._t0 = self.env.sim.now
-        self._dev0 = self.env.device.bytes_by_category.as_dict()
-        self._kind0 = self.env.device.bytes_by_kind.as_dict()
-        self._cpu0 = self.env.cpu.total_busy_time()
-        self._cpu_kind0 = dict(self.env.cpu.busy_by_kind)
+        self._dev0 = self._provider("device.bytes_by_category")
+        self._kind0 = self._provider("device.bytes_by_kind")
+        self._cpu0 = self._gauge("cpu.busy_seconds_total")
+        self._cpu_kind0 = self._provider("cpu.busy_by_kind")
         self._core0 = [t.busy_time for t in self.env.cpu.trackers]
         self._rw0 = (
-            self.env.device.bytes_by_kind.get("read"),
-            self.env.device.bytes_by_kind.get("write"),
+            self._gauge("device.read_bytes_total"),
+            self._gauge("device.write_bytes_total"),
         )
+
+    def release(self) -> None:
+        """Give up the env's measuring slot if this collector holds it."""
+        if getattr(self.env, "_active_collector", None) is self:
+            self.env._active_collector = None
+
+    def reset(self) -> None:
+        """Release the measuring slot and drop all accumulated state, so
+        this collector can :meth:`start` a fresh window (or be abandoned
+        without wedging the env for the next collector)."""
+        self.release()
+        self.latency = {}
+        self._t0 = None
+        self._dev0 = {}
+        self._cpu0 = 0.0
+        self._cpu_kind0 = {}
+        self._kind0 = {}
+        self._rw0 = (0.0, 0.0)
+        self._core0 = []
+        self.memory_peak = 0
 
     def record_latency(self, verb_class: str, seconds: float) -> None:
         hist = self.latency.get(verb_class)
@@ -149,22 +193,21 @@ class MetricsCollector:
 
     def finish(self, n_ops: int, user_bytes_written: float, memory_bytes: int) -> Metrics:
         env = self.env
-        if getattr(env, "_active_collector", None) is self:
-            env._active_collector = None
+        self.release()
         elapsed = env.sim.now - self._t0
-        dev1 = env.device.bytes_by_category.as_dict()
+        dev1 = self._provider("device.bytes_by_category")
         device_bytes = {
             category: dev1.get(category, 0.0) - self._dev0.get(category, 0.0)
             for category in set(dev1) | set(self._dev0)
         }
-        kind1 = env.device.bytes_by_kind.as_dict()
+        kind1 = self._provider("device.bytes_by_kind")
         device_bytes_kind = {
             k: kind1.get(k, 0.0) - self._kind0.get(k, 0.0)
             for k in set(kind1) | set(self._kind0)
         }
-        read1 = env.device.bytes_by_kind.get("read")
-        write1 = env.device.bytes_by_kind.get("write")
-        cpu_kind1 = dict(env.cpu.busy_by_kind)
+        read1 = self._gauge("device.read_bytes_total")
+        write1 = self._gauge("device.write_bytes_total")
+        cpu_kind1 = self._provider("cpu.busy_by_kind")
         busy_by_kind = {
             kind: cpu_kind1.get(kind, 0.0) - self._cpu_kind0.get(kind, 0.0)
             for kind in set(cpu_kind1) | set(self._cpu_kind0)
@@ -179,7 +222,7 @@ class MetricsCollector:
             device_read_bytes=read1 - self._rw0[0],
             device_write_bytes=write1 - self._rw0[1],
             user_bytes_written=user_bytes_written,
-            cpu_busy=env.cpu.total_busy_time() - self._cpu0,
+            cpu_busy=self._gauge("cpu.busy_seconds_total") - self._cpu0,
             cpu_busy_by_kind=busy_by_kind,
             per_core_util=[
                 (tracker.busy_time - before) / max(elapsed, 1e-12)
@@ -201,3 +244,18 @@ class MetricsCollector:
                 tracer, tracks=tracks, window=(self._t0, env.sim.now)
             )
         return metrics
+
+
+@contextmanager
+def scoped_collector(env, system_name: str) -> Iterator[MetricsCollector]:
+    """A collector whose measuring slot is released no matter how the block
+    exits — a failed benchmark run cannot wedge the env for the next window::
+
+        with scoped_collector(env, "p2kvs-8") as collector:
+            metrics = run_closed_loop(env, system, streams, collector=collector)
+    """
+    collector = MetricsCollector(env, system_name)
+    try:
+        yield collector
+    finally:
+        collector.release()

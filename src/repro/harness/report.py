@@ -13,6 +13,7 @@ __all__ = [
     "ShapeCheck",
     "format_attribution",
     "format_qps",
+    "format_stall_timeline",
     "format_table",
     "print_section",
 ]
@@ -70,6 +71,68 @@ def format_attribution(breakdown: dict) -> str:
     ]
     rows.append(["total", "100%", "%.3f ms" % (breakdown["total"] * 1e3)])
     return format_table(["category", "share", "time"], rows)
+
+
+def format_stall_timeline(
+    sampler,
+    events=None,
+    n_bins: int = 20,
+    n_cores: Optional[int] = None,
+) -> str:
+    """ASCII stall/utilization timeline from the sim-time sampler's series.
+
+    Folds the sampled rows into ``n_bins`` equal windows of simulated time
+    and renders, per window, a core-utilization bar (``#`` = busy fraction,
+    against ``n_cores`` or the observed peak), the mean OBM queue depth, and
+    how many write-stall / compaction-backlog events (from the registry's
+    :class:`~repro.metrics.registry.EventLog`) overlap the window.
+    """
+    samples = sampler.samples
+    if not samples:
+        return "(no samples)"
+    t0, t1 = samples[0][0], samples[-1][0]
+    span = max(t1 - t0, 1e-12)
+    busy = [row.get("cpu.busy_cores", 0.0) for _t, row in samples]
+    scale = float(n_cores) if n_cores else max(max(busy), 1.0)
+    bins: List[List[int]] = [[] for _ in range(n_bins)]
+    for i, (t, _row) in enumerate(samples):
+        b = min(int((t - t0) / span * n_bins), n_bins - 1)
+        bins[b].append(i)
+    intervals = []
+    if events is not None:
+        intervals = [
+            (kind, begin, end if end is not None else t1)
+            for kind, begin, end, _detail in events.entries
+        ]
+    bar_w = 24
+    lines = ["%-10s  %-*s  %6s  %6s  %s" % ("t (ms)", bar_w, "busy cores", "util", "obm qd", "events")]
+    for b, idxs in enumerate(bins):
+        lo = t0 + span * b / n_bins
+        hi = t0 + span * (b + 1) / n_bins
+        if not idxs:
+            lines.append("%-10s  %-*s  %6s  %6s  %s" % ("%.3f" % (lo * 1e3), bar_w, "", "", "", ""))
+            continue
+        mean_busy = sum(busy[i] for i in idxs) / len(idxs)
+        mean_qd = sum(
+            samples[i][1].get("p2kvs.obm.queue_depth", 0.0) for i in idxs
+        ) / len(idxs)
+        frac = min(mean_busy / scale, 1.0)
+        bar = "#" * int(round(frac * bar_w))
+        overlapping = sorted(
+            {kind for kind, begin, end in intervals if begin < hi and end > lo}
+        )
+        lines.append(
+            "%-10s  %-*s  %5.0f%%  %6.1f  %s"
+            % (
+                "%.3f" % (lo * 1e3),
+                bar_w,
+                bar,
+                frac * 100.0,
+                mean_qd,
+                ",".join(overlapping),
+            )
+        )
+    return "\n".join(lines)
 
 
 def print_section(title: str) -> None:

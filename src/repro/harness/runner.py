@@ -354,6 +354,11 @@ def run_closed_loop(
         collector = MetricsCollector(env, system.name)
     user_bytes0 = system.user_bytes_written()
     collector.start()
+    # The sim-time sampler (installed by --stats) covers only the measured
+    # window: preload phases run with measure=False and are not sampled.
+    sampler = env.metrics.sampler if measure else None
+    if sampler is not None:
+        sampler.start()
     n_ops = sum(len(s) for s in streams)
     procs = []
     per_instance = isinstance(system, MultiInstanceSystem)
@@ -388,6 +393,9 @@ def run_closed_loop(
         yield env.sim.all_of(procs)
         if is_p2kvs and system.async_window:
             yield from system.drain()
+        if sampler is not None:
+            sampler.sample_once()  # final row at the window's end time
+            sampler.stop()
         box.append(
             collector.finish(
                 n_ops,

@@ -1,0 +1,93 @@
+"""Exporters: JSON snapshot, Prometheus text format, CSV time series.
+
+All three read only the registry/sampler state, never the simulator, so they
+can run after ``sim.run()`` returns.  Output is fully sorted — exports of
+deterministic runs are byte-identical, which the determinism suite checks.
+"""
+
+import json
+import re
+from typing import Optional
+
+from repro.metrics.registry import StatsRegistry
+from repro.metrics.sampler import Sampler
+
+__all__ = [
+    "prometheus_text",
+    "snapshot_json",
+    "timeseries_csv",
+    "write_stats_files",
+]
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """Metric names like ``engine.p2kvs/db-0.flushes`` -> Prometheus-legal
+    ``p2kvs_engine_p2kvs_db_0_flushes``."""
+    return "p2kvs_" + _PROM_BAD.sub("_", name)
+
+
+def snapshot_json(registry: StatsRegistry, indent: int = 2) -> str:
+    """The full registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def prometheus_text(registry: StatsRegistry) -> str:
+    """Prometheus text exposition format (0.0.4): counters, gauges, and
+    histogram summaries with quantile labels."""
+    lines = []
+    for name, value in registry.counter_values().items():
+        prom = _prom_name(name)
+        lines.append("# TYPE %s counter" % prom)
+        lines.append("%s %.17g" % (prom, value))
+    for name, value in registry.gauge_values().items():
+        prom = _prom_name(name)
+        lines.append("# TYPE %s gauge" % prom)
+        lines.append("%s %.17g" % (prom, value))
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        prom = _prom_name(name)
+        lines.append("# TYPE %s summary" % prom)
+        for q, value in (
+            ("0.5", hist.p50),
+            ("0.95", hist.p95),
+            ("0.99", hist.p99),
+        ):
+            lines.append('%s{quantile="%s"} %.17g' % (prom, q, value))
+        lines.append("%s_sum %.17g" % (prom, hist.sum))
+        lines.append("%s_count %d" % (prom, hist.count))
+    return "\n".join(lines) + "\n"
+
+
+def timeseries_csv(sampler: Sampler) -> str:
+    """The sampled gauge time series as CSV: ``time`` plus one column per
+    gauge name (union across rows, sorted; gauges registered after the first
+    tick appear as empty cells in earlier rows)."""
+    columns = sampler.column_names()
+    lines = [",".join(["time"] + columns)]
+    for t, row in sampler.samples:
+        cells = ["%.9f" % t]
+        for name in columns:
+            value = row.get(name)
+            cells.append("" if value is None else "%.9g" % value)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def write_stats_files(
+    registry: StatsRegistry, base: str, sampler: Optional[Sampler] = None
+) -> dict:
+    """Write ``<base>.json`` / ``<base>.prom`` / ``<base>.csv`` and return
+    the path map (the CSV is skipped when no sampler was installed)."""
+    paths = {"json": base + ".json", "prom": base + ".prom"}
+    with open(paths["json"], "w") as f:
+        f.write(snapshot_json(registry) + "\n")
+    with open(paths["prom"], "w") as f:
+        f.write(prometheus_text(registry))
+    sampler = sampler if sampler is not None else registry.sampler
+    if sampler is not None:
+        paths["csv"] = base + ".csv"
+        with open(paths["csv"], "w") as f:
+            f.write(timeseries_csv(sampler))
+    return paths

@@ -1,0 +1,83 @@
+"""Per-request perf context (RocksDB ``PerfContext`` analogue).
+
+When ``env.metrics.perf_enabled`` is set, the accessing layer attaches one
+:class:`PerfContext` to each :class:`~repro.core.requests.Request`.  While a
+worker executes a batch, the batch's context is parked on the executing
+thread (``ThreadContext.perf``) so deep layers — the WAL append, memtable
+inserts, SSTable block loads, lock-wait accounting — can increment it
+without threading a parameter through every call.  On completion the
+accumulated counts are merged into each member request's own context and, if
+tracing is on, attached to the request's span as ``perf=...`` args.
+
+All fields are plain numbers; ``as_dict()`` returns only the nonzero ones so
+span attachments and JSON exports stay readable.
+"""
+
+from typing import Dict
+
+__all__ = ["PERF_FIELDS", "PerfContext"]
+
+#: every counter a PerfContext can accumulate, in export order.
+PERF_FIELDS = (
+    "wal_appends",
+    "wal_bytes",
+    "memtable_inserts",
+    "memtable_probes",
+    "block_cache_hits",
+    "block_cache_misses",
+    "ios_issued",
+    "io_bytes",
+    "cpu_busy_seconds",
+    "wal_wait_seconds",
+    "lock_wait_seconds",
+    "stall_wait_seconds",
+    "queue_wait_seconds",
+    "batch_size",
+)
+
+#: Figure 6 wait categories -> PerfContext field (see ThreadContext.account_wait).
+WAIT_FIELD = {
+    "wal": "wal_wait_seconds",
+    "stall": "stall_wait_seconds",
+    "wal_lock": "lock_wait_seconds",
+    "memtable_lock": "lock_wait_seconds",
+    "read_lock": "lock_wait_seconds",
+    "publish_wait": "lock_wait_seconds",
+    "cpu_queue": "queue_wait_seconds",
+    "request_wait": "queue_wait_seconds",
+}
+
+
+class PerfContext:
+    """Fine-grained counts accumulated along one request's execution path."""
+
+    __slots__ = PERF_FIELDS
+
+    def __init__(self):
+        for field in PERF_FIELDS:
+            setattr(self, field, 0.0)
+
+    def add(self, field: str, amount: float = 1.0) -> None:
+        setattr(self, field, getattr(self, field) + amount)
+
+    def add_wait(self, category: str, seconds: float) -> None:
+        field = WAIT_FIELD.get(category)
+        if field is not None:
+            setattr(self, field, getattr(self, field) + seconds)
+
+    def merge(self, other: "PerfContext") -> "PerfContext":
+        for field in PERF_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            field: getattr(self, field)
+            for field in PERF_FIELDS
+            if getattr(self, field)
+        }
+
+    def __repr__(self) -> str:
+        return "PerfContext(%s)" % (
+            ", ".join("%s=%g" % kv for kv in self.as_dict().items()) or "empty"
+        )

@@ -1,0 +1,361 @@
+"""The stats registry: one namespace of live metrics per simulated machine.
+
+Every :class:`~repro.engine.env.Env` carries a :class:`StatsRegistry`
+(``env.metrics``).  Components register their instruments under dotted,
+component-prefixed names at open time:
+
+* **counters** — cheap monotonic floats (``registry.counter("...")`` or a
+  :class:`CounterGroup` holding a component's whole counter family);
+* **gauges** — zero-state callables evaluated at read time (queue depths,
+  memtable bytes, in-flight IOs); the sim-time sampler snapshots these;
+* **histograms** — log-bucketed, mergeable :class:`LogHistogram` instances
+  (p50/p95/p99/max without retaining raw samples);
+* **providers** — dict-valued cumulative sources (e.g. the device's
+  per-category byte counters) that windowed consumers difference;
+* **events** — begin/end occurrences with sim timestamps (write stalls,
+  compaction backlog), kept in one ordered :class:`EventLog`.
+
+The registry is plain state: registering and updating instruments costs a
+dict operation and never touches the simulator, so an idle registry has zero
+effect on event ordering.  Only the opt-in sampler (``repro.metrics.sampler``)
+schedules anything.
+"""
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple
+
+# LogHistogram geometry (module-level: class bodies can't reference their own
+# attributes from a comprehension).
+_HIST_SMALLEST = 1e-9
+_HIST_GROWTH = 2.0
+_HIST_N_BUCKETS = 64
+
+__all__ = [
+    "CounterGroup",
+    "CounterStat",
+    "EventLog",
+    "GaugeStat",
+    "LogHistogram",
+    "StatsRegistry",
+]
+
+
+class CounterStat:
+    """One named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class GaugeStat:
+    """A named instantaneous value, read through a callable."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]):
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn())
+
+
+class LogHistogram:
+    """Log-bucketed histogram: bounded memory, mergeable, percentile reads.
+
+    Buckets have geometrically growing upper bounds ``SMALLEST * GROWTH**i``
+    (covering ~1 ns to ~18 s of latency, or 1 to ~1.8e10 of any other unit
+    after scaling by ``SMALLEST``); values beyond the last bound land in an
+    overflow bucket.  Exact ``count``/``sum``/``min``/``max`` are kept on the
+    side, so ``max`` is precise and percentiles that resolve to the overflow
+    bucket report the observed maximum rather than infinity.
+    """
+
+    SMALLEST = _HIST_SMALLEST
+    GROWTH = _HIST_GROWTH
+    N_BUCKETS = _HIST_N_BUCKETS
+
+    _BOUNDS: Tuple[float, ...] = tuple(
+        _HIST_SMALLEST * _HIST_GROWTH ** i for i in range(_HIST_N_BUCKETS)
+    )
+
+    __slots__ = ("buckets", "overflow", "count", "sum", "min_value", "max_value")
+
+    def __init__(self):
+        self.buckets = [0] * self.N_BUCKETS
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
+
+    def record(self, value: float) -> None:
+        if self.count == 0:
+            self.min_value = self.max_value = value
+        else:
+            if value < self.min_value:
+                self.min_value = value
+            if value > self.max_value:
+                self.max_value = value
+        self.count += 1
+        self.sum += value
+        idx = self._bucket_index(value)
+        if idx is None:
+            self.overflow += 1
+        else:
+            self.buckets[idx] += 1
+
+    @classmethod
+    def _bucket_index(cls, value: float) -> Optional[int]:
+        """First bucket whose upper bound is >= value; None = overflow."""
+        if value <= cls._BOUNDS[0]:
+            return 0
+        if value > cls._BOUNDS[-1]:
+            return None
+        return bisect_left(cls._BOUNDS, value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into self (both stay log-bucketed); returns self."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+        else:
+            self.min_value = min(self.min_value, other.min_value)
+            self.max_value = max(self.max_value, other.max_value)
+        self.count += other.count
+        self.sum += other.sum
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.overflow += other.overflow
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self.max_value
+
+    @property
+    def min(self) -> float:
+        return self.min_value
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the buckets, p in [0, 100].
+
+        Returns the upper bound of the bucket holding the rank, clamped to
+        the exact observed [min, max]; ranks landing in the overflow bucket
+        report the observed maximum.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, -(-int(p * self.count) // 100))  # ceil(p/100 * count)
+        rank = min(rank, self.count)
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                bound = self._BOUNDS[i]
+                return max(self.min_value, min(bound, self.max_value))
+        return self.max_value  # rank sits in the overflow bucket
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min_value,
+            "max": self.max_value,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class CounterGroup:
+    """A component's named counter family, registered under one prefix.
+
+    API-compatible with :class:`repro.sim.stats.Counter` (``add``/``get``/
+    ``as_dict``) so component code and tests keep reading e.g.
+    ``engine.counters.get("flushes")`` unchanged, while every counter is
+    also visible registry-wide as ``<prefix>.<name>``.
+    """
+
+    __slots__ = ("prefix", "_values")
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+
+class EventLog:
+    """Begin/end occurrences with sim timestamps, in begin order.
+
+    Callers pass the current sim time explicitly (the log holds no clock),
+    e.g.::
+
+        token = registry.events.begin("write_stall", now, engine=name)
+        ...
+        registry.events.end(token, env.sim.now)
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        #: [kind, begin_time, end_time_or_None, detail_dict]
+        self.entries: List[list] = []
+
+    def begin(self, kind: str, now: float, **detail) -> int:
+        self.entries.append([kind, now, None, detail])
+        return len(self.entries) - 1
+
+    def end(self, token: int, now: float) -> None:
+        self.entries[token][2] = now
+
+    def active_count(self, kind: Optional[str] = None) -> int:
+        return sum(
+            1
+            for e in self.entries
+            if e[2] is None and (kind is None or e[0] == kind)
+        )
+
+    def as_dicts(self) -> List[dict]:
+        return [
+            {
+                "kind": kind,
+                "begin": begin,
+                "end": end,
+                "duration": (end - begin) if end is not None else None,
+                "detail": dict(detail),
+            }
+            for kind, begin, end, detail in self.entries
+        ]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind count / completed-duration / still-active totals."""
+        out: Dict[str, Dict[str, float]] = {}
+        for kind, begin, end, _detail in self.entries:
+            row = out.setdefault(
+                kind, {"count": 0, "total_seconds": 0.0, "active": 0}
+            )
+            row["count"] += 1
+            if end is None:
+                row["active"] += 1
+            else:
+                row["total_seconds"] += end - begin
+        return out
+
+
+class StatsRegistry:
+    """All live metrics of one simulated machine, by dotted name."""
+
+    def __init__(self):
+        self.counters: Dict[str, CounterStat] = {}
+        self.gauges: Dict[str, GaugeStat] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
+        self.groups: Dict[str, CounterGroup] = {}
+        self.providers: Dict[str, Callable[[], Dict[str, float]]] = {}
+        self.events = EventLog()
+        #: opt-in per-request drill-down; off = requests carry no PerfContext.
+        self.perf_enabled = False
+        #: the sim-time sampler, installed by tools when --stats is given.
+        self.sampler = None
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str) -> CounterStat:
+        stat = self.counters.get(name)
+        if stat is None:
+            stat = self.counters[name] = CounterStat(name)
+        return stat
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> GaugeStat:
+        stat = GaugeStat(name, fn)
+        self.gauges[name] = stat
+        return stat
+
+    def histogram(self, name: str, fresh: bool = False) -> LogHistogram:
+        hist = self.histograms.get(name)
+        if hist is None or fresh:
+            hist = self.histograms[name] = LogHistogram()
+        return hist
+
+    def group(self, prefix: str, fresh: bool = False) -> CounterGroup:
+        """Get-or-create a component counter group.
+
+        ``fresh=True`` replaces any group left by a previous instance with
+        the same name — a re-opened engine after a simulated crash starts
+        its counters at zero, exactly like its pre-registry ``Counter()``.
+        """
+        grp = self.groups.get(prefix)
+        if grp is None or fresh:
+            grp = self.groups[prefix] = CounterGroup(prefix)
+        return grp
+
+    def provider(self, name: str, fn: Callable[[], Dict[str, float]]) -> None:
+        self.providers[name] = fn
+
+    # -- reads -------------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, float]:
+        """All counters (standalone + group-expanded), sorted by name."""
+        out = {name: stat.value for name, stat in self.counters.items()}
+        for prefix, grp in self.groups.items():
+            for key, value in grp.as_dict().items():
+                out["%s.%s" % (prefix, key)] = value
+        return dict(sorted(out.items()))
+
+    def gauge_values(self) -> Dict[str, float]:
+        """Evaluate every gauge, sorted by name (the sampler's row shape)."""
+        return {
+            name: self.gauges[name].read() for name in sorted(self.gauges)
+        }
+
+    def provider_values(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: dict(self.providers[name]())
+            for name in sorted(self.providers)
+        }
+
+    def snapshot(self) -> dict:
+        """Full point-in-time view (the JSON exporter's payload)."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": {
+                name: self.histograms[name].summary()
+                for name in sorted(self.histograms)
+            },
+            "providers": self.provider_values(),
+            "events": self.events.as_dicts(),
+        }

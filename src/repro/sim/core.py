@@ -19,6 +19,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "LateTimeout",
     "Process",
     "SimError",
     "Simulator",
@@ -115,6 +116,29 @@ class Timeout(Event):
             raise SimError("negative timeout: %r" % (delay,))
         super().__init__(sim)
         sim._schedule(delay, self, value)
+
+
+class LateTimeout(Event):
+    """A timeout delivered after every other event at the same instant.
+
+    Same-time heap entries normally deliver FIFO (or seeded-shuffled under
+    :meth:`Simulator.perturb_schedule`); a late timeout carries a fixed rank
+    above both, so its waiter resumes only once the instant's other activity
+    — including same-time cascades it triggers — has drained.  Observers
+    (the sim-time sampler) use this: an end-of-instant snapshot is the same
+    for every same-time delivery order, a mid-instant one is not.
+    """
+
+    __slots__ = ()
+
+    #: sorts after FIFO's 0.0 and after any perturbation rank in [0, 1).
+    RANK = 2.0
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError("negative timeout: %r" % (delay,))
+        super().__init__(sim)
+        sim._push(sim._now + delay, self, value, rank=self.RANK)
 
 
 class Process(Event):
@@ -304,6 +328,11 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def timeout_late(self, delay: float, value: Any = None) -> LateTimeout:
+        """A timeout that resumes its waiter at the *end* of the target
+        instant, after every same-time event (perturbation-stable)."""
+        return LateTimeout(self, delay, value)
+
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start running ``gen`` as a concurrent simulated process."""
         return Process(self, gen, name)
@@ -316,13 +345,17 @@ class Simulator:
 
     # -- scheduling internals ----------------------------------------------
 
-    def _push(self, when: float, target: Any, value: Any) -> None:
+    def _push(
+        self, when: float, target: Any, value: Any, rank: Optional[float] = None
+    ) -> None:
         """Heap insert.  Ties at equal ``when`` break FIFO by default; under
         schedule perturbation a seeded random rank shuffles same-time order
-        (the trailing seq keeps runs reproducible per seed)."""
+        (the trailing seq keeps runs reproducible per seed).  An explicit
+        ``rank`` (see :class:`LateTimeout`) bypasses both."""
         self._seq += 1
-        rng = self._perturb_rng
-        rank = rng.random() if rng is not None else 0.0
+        if rank is None:
+            rng = self._perturb_rng
+            rank = rng.random() if rng is not None else 0.0
         heapq.heappush(self._heap, (when, rank, self._seq, target, value))
 
     def _schedule(self, delay: float, event: Event, value: Any) -> None:

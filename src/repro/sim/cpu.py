@@ -39,6 +39,7 @@ class ThreadContext:
         "wait_by_category",
         "sim",
         "track",
+        "perf",
     )
 
     def __init__(
@@ -57,6 +58,9 @@ class ThreadContext:
         self.busy_time = 0.0
         self.busy_by_category: Dict[str, float] = defaultdict(float)
         self.wait_by_category: Dict[str, float] = defaultdict(float)
+        #: PerfContext of the request/batch this thread is executing, if the
+        #: observability layer is on (see repro.metrics.perf_context).
+        self.perf = None
 
     # account_busy/account_wait are the single funnel for every Figure 6
     # input (CPU bursts, lock hold/wait, WAL flush waits, stalls).  When
@@ -67,6 +71,8 @@ class ThreadContext:
     def account_busy(self, category: str, dt: float) -> None:
         self.busy_time += dt
         self.busy_by_category[category] += dt
+        if self.perf is not None:
+            self.perf.add("cpu_busy_seconds", dt)
         if self.sim is not None and dt > 0:
             tracer = self.sim.tracer
             if tracer.enabled:
@@ -75,6 +81,8 @@ class ThreadContext:
 
     def account_wait(self, category: str, dt: float) -> None:
         self.wait_by_category[category] += dt
+        if self.perf is not None:
+            self.perf.add_wait(category, dt)
         if self.sim is not None and dt > 0:
             tracer = self.sim.tracer
             if tracer.enabled:
@@ -223,6 +231,10 @@ class CPUSet:
 
     def total_busy_time(self) -> float:
         return sum(t.busy_time for t in self.trackers)
+
+    def busy_cores(self) -> int:
+        """Cores occupied right now (the sampler's CPU gauge)."""
+        return sum(1 for busy in self._busy if busy)
 
     def utilization(self, elapsed: float) -> float:
         """Aggregate utilization across cores, in [0, n_cores]."""

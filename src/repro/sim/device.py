@@ -194,6 +194,10 @@ class StorageDevice:
 
     # -- metrics -----------------------------------------------------------------
 
+    def in_flight(self) -> int:
+        """IOs currently occupying a channel (the sampler's device gauge)."""
+        return self.spec.channels - len(self._free_channels)
+
     def total_bytes(self, kind: Optional[str] = None) -> float:
         if kind is None:
             return self.bytes_by_kind.get("read") + self.bytes_by_kind.get("write")

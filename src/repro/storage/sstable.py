@@ -93,16 +93,29 @@ class SSTable:
 
     # -- point lookup -----------------------------------------------------
 
-    def load_block(self, idx: int, cache, device, page_cache=None) -> Generator:
+    def load_block(self, idx: int, cache, device, page_cache=None, perf=None) -> Generator:
         """Fetch block ``idx``: engine block cache (free) -> OS page cache
-        (one RAM copy) -> device (random block read)."""
+        (one RAM copy) -> device (random block read).
+
+        ``perf`` (a :class:`repro.metrics.PerfContext`) attributes the
+        cache-hit/miss outcome and any device IO to the requesting request;
+        the hit/miss decision is made synchronously here, so attribution
+        cannot be corrupted by interleaved lookups.
+        """
         block = self.blocks[idx]
         cache_key = (self.number, idx)
         if cache is not None and cache.get(cache_key) is not None:
+            if perf is not None:
+                perf.add("block_cache_hits")
             return block
+        if perf is not None:
+            perf.add("block_cache_misses")
         if page_cache is not None and page_cache.get(cache_key) is not None:
             yield device.ram_read(block.nbytes)
         else:
+            if perf is not None:
+                perf.add("ios_issued")
+                perf.add("io_bytes", block.nbytes)
             yield device.read(block.nbytes, category="read", random=True)
             if page_cache is not None:
                 page_cache.put(cache_key, True, block.nbytes)
@@ -111,7 +124,7 @@ class SSTable:
         return block
 
     def get(
-        self, key: bytes, snapshot_seq: int, cache, device, page_cache=None
+        self, key: bytes, snapshot_seq: int, cache, device, page_cache=None, perf=None
     ) -> Generator:
         """Point lookup; returns (state, value) like MemTable.get.
 
@@ -125,7 +138,7 @@ class SSTable:
         target = (key, MAX_SEQ - snapshot_seq)
         idx = bisect_left(self._index, target)
         while idx < len(self.blocks):
-            block = yield from self.load_block(idx, cache, device, page_cache)
+            block = yield from self.load_block(idx, cache, device, page_cache, perf)
             entries = block.entries
             pos = bisect_left(entries, target, key=_internal_key)
             if pos < len(entries):

@@ -34,6 +34,7 @@ from repro.harness import (
     run_closed_loop,
 )
 from repro.harness.report import format_attribution, format_qps, format_table
+from repro.metrics import install_stats, write_stats_files
 from repro.sim.device import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO
 from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import (
@@ -108,7 +109,53 @@ def build_parser() -> argparse.ArgumentParser:
         "(load in ui.perfetto.dev; see docs/TRACING.md); with several "
         "benchmarks the benchmark name is appended to the file name",
     )
+    add_stats_args(parser)
     return parser
+
+
+def add_stats_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --stats flag family (dbbench + ycsb; see docs/METRICS.md)."""
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="enable the observability layer: per-request perf contexts plus "
+        "a sim-time gauge sampler over the measured window",
+    )
+    parser.add_argument(
+        "--stats-interval-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="sampler cadence in *virtual* milliseconds (default 10)",
+    )
+    parser.add_argument(
+        "--stats-out",
+        metavar="BASE",
+        default="stats",
+        help="base path for the exports: BASE.json (registry snapshot), "
+        "BASE.prom (Prometheus text), BASE.csv (sampled time series); with "
+        "several benchmarks the benchmark name is appended",
+    )
+
+
+def _install_stats(env, args):
+    if not getattr(args, "stats", False):
+        return None
+    return install_stats(env, interval_ms=args.stats_interval_ms)
+
+
+def _export_stats(env, sampler, base: str, result: dict) -> None:
+    """Write the three stats artifacts and fold summaries into the result."""
+    if sampler is None:
+        return
+    from repro.harness.report import format_stall_timeline
+
+    result["stats_files"] = write_stats_files(env.metrics, base, sampler)
+    result["counters"] = env.metrics.counter_values()
+    result["events"] = env.metrics.events.summary()
+    result["stall_timeline"] = format_stall_timeline(
+        sampler, env.metrics.events, n_cores=env.cpu.n_cores
+    )
 
 
 def _trace_path(base: str, name: str, multiple: bool) -> str:
@@ -211,9 +258,15 @@ def _ops_for(name: str, args):
     raise SystemExit("unknown benchmark %r (choose from %s)" % (name, BENCHMARKS))
 
 
-def run_benchmark(name: str, args, trace_path: Optional[str] = None) -> dict:
+def run_benchmark(
+    name: str,
+    args,
+    trace_path: Optional[str] = None,
+    stats_base: Optional[str] = None,
+) -> dict:
     env = _make_env(args)
     tracer = install_tracer(env) if trace_path else None
+    sampler = _install_stats(env, args)
     system = _build_system(env, args)
     if name in NEEDS_PRELOAD:
         preload(env, system, fillrandom(args.num, args.value_size, args.seed), 8)
@@ -239,6 +292,8 @@ def run_benchmark(name: str, args, trace_path: Optional[str] = None) -> dict:
         attribution = metrics.extra.get("latency_attribution")
         if attribution is not None:
             result["latency_attribution"] = attribution
+    if sampler is not None:
+        _export_stats(env, sampler, stats_base or "stats", result)
     return result
 
 
@@ -255,6 +310,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             args,
             _trace_path(args.trace_out, name, len(names) > 1)
             if args.trace_out
+            else None,
+            _trace_path(args.stats_out, name, len(names) > 1)
+            if args.stats
             else None,
         )
         for name in names
@@ -303,6 +361,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_attribution(r["latency_attribution"]))
         if "trace_file" in r:
             print("wrote trace %s" % r["trace_file"])
+        if "stall_timeline" in r:
+            print()
+            print("%s stall/utilization timeline:" % r["benchmark"])
+            print(r["stall_timeline"])
+        for path in sorted(r.get("stats_files", {}).values()):
+            print("wrote stats %s" % path)
     if args.json:
         with open(args.json, "w") as f:
             json.dump(results, f, indent=2)

@@ -24,8 +24,11 @@ from repro.tools.dbbench import (
     SYSTEMS,
     _build_system,
     _check_sanitizer,
+    _export_stats,
+    _install_stats,
     _make_env,
     _trace_path,
+    add_stats_args,
 )
 from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import WORKLOADS, YCSBWorkload
@@ -76,12 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a request-level trace and write Chrome trace-event JSON "
         "(see docs/TRACING.md)",
     )
+    add_stats_args(parser)
     return parser
 
 
-def run_workload(name: str, args, trace_path: Optional[str] = None) -> dict:
+def run_workload(
+    name: str,
+    args,
+    trace_path: Optional[str] = None,
+    stats_base: Optional[str] = None,
+) -> dict:
     env = _make_env(args)
     tracer = install_tracer(env) if trace_path else None
+    sampler = _install_stats(env, args)
     system = _build_system(env, args)
     workload = YCSBWorkload(
         name, args.records, value_size=args.value_size, seed=args.seed
@@ -111,6 +121,8 @@ def run_workload(name: str, args, trace_path: Optional[str] = None) -> dict:
         attribution = metrics.extra.get("latency_attribution")
         if attribution is not None:
             result["latency_attribution"] = attribution
+    if sampler is not None:
+        _export_stats(env, sampler, stats_base or "stats", result)
     return result
 
 
@@ -127,6 +139,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             args,
             _trace_path(args.trace_out, name, len(names) > 1)
             if args.trace_out
+            else None,
+            _trace_path(args.stats_out, name, len(names) > 1)
+            if args.stats
             else None,
         )
         for name in names
@@ -152,6 +167,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_attribution(r["latency_attribution"]))
         if "trace_file" in r:
             print("wrote trace %s" % r["trace_file"])
+        if "stall_timeline" in r:
+            print()
+            print("%s stall/utilization timeline:" % r["workload"])
+            print(r["stall_timeline"])
+        for path in sorted(r.get("stats_files", {}).values()):
+            print("wrote stats %s" % path)
     if args.json:
         with open(args.json, "w") as f:
             json.dump(results, f, indent=2)

@@ -15,6 +15,7 @@ from repro.analysis.perturb import (
 from repro.core import adapter_factory
 from repro.engine import LSMEngine, make_env, rocksdb_options
 from repro.harness import KVellSystem, P2KVSSystem, open_system, preload, run_closed_loop
+from repro.metrics import install_stats, timeseries_csv
 from repro.sim.core import Simulator
 from repro.workloads import YCSBWorkload
 from tests.conftest import run_process
@@ -58,11 +59,18 @@ def _db_fingerprint(env, system, keys):
     return box[0]
 
 
-def _run_ycsb_a(schedule_seed=None):
-    """One small YCSB-A run on p2KVS; returns metrics dict + DB digest."""
+def _run_ycsb_a(schedule_seed=None, stats=False):
+    """One small YCSB-A run on p2KVS; returns metrics dict + DB digest.
+
+    With ``stats=True`` the observability layer is on (per-request perf
+    contexts + a fine-grained sampler) and the result also carries the
+    sampled time series as CSV text plus the registry counter values.
+    """
     env = make_env(n_cores=8)
     if schedule_seed is not None:
         env.sim.perturb_schedule(schedule_seed)
+    if stats:
+        install_stats(env, interval_ms=0.05)
     system = _open_p2kvs(env)
     workload = YCSBWorkload("A", RECORDS, value_size=112, seed=5)
     preload(env, system, workload.load_ops(), n_threads=THREADS)
@@ -72,7 +80,7 @@ def _run_ycsb_a(schedule_seed=None):
         streams[i % THREADS].append(op)
     metrics = run_closed_loop(env, system, streams)
     keys = sorted({op[1] for op in workload.load_ops()})
-    return {
+    out = {
         "ops": metrics.n_ops,
         "qps": metrics.qps,
         "avg_latency": metrics.avg_latency,
@@ -80,6 +88,10 @@ def _run_ycsb_a(schedule_seed=None):
         "elapsed": metrics.elapsed,
         "db": _db_fingerprint(env, system, keys),
     }
+    if stats:
+        out["series"] = timeseries_csv(env.metrics.sampler)
+        out["counters"] = env.metrics.counter_values()
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -163,6 +175,40 @@ def test_perturbation_is_reproducible_per_seed():
 
     assert run(7) == run(7)
     assert run(7) != list(range(6)) or run(8) != list(range(6))
+
+
+# ---------------------------------------------------------------------------
+# observability determinism (see repro/metrics/sampler.py)
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_series_byte_identical_across_reruns():
+    """Enabled stats are exactly as deterministic as the kernel: two
+    identical runs emit byte-identical sampled CSV and counter values."""
+    first = _run_ycsb_a(stats=True)
+    second = _run_ycsb_a(stats=True)
+    assert first["series"] == second["series"]
+    assert first["counters"] == second["counters"]
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_sampler_series_stable_under_schedule_perturbation():
+    """Satellite acceptance: the sampled time series survives --schedule-seed
+    perturbation byte-for-byte, like every other result."""
+    results = run_perturbed(
+        lambda seed: _run_ycsb_a(schedule_seed=seed, stats=True), seeds=(1, 2, 3)
+    )
+    assert len({fingerprint(r) for r in results.values()}) == 1
+    assert fingerprint(_run_ycsb_a(stats=True)) == fingerprint(results[1])
+
+
+def test_stats_on_does_not_perturb_simulation_results():
+    """Zero-overhead contract, strong form: turning the observability layer
+    ON must not change throughput, latency, or final DB state — sampler
+    ticks and perf contexts never touch CPU, device, or lock state."""
+    plain = _run_ycsb_a()
+    stats = _run_ycsb_a(stats=True)
+    assert {k: stats[k] for k in plain} == plain
 
 
 # ---------------------------------------------------------------------------

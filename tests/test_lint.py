@@ -25,6 +25,7 @@ def test_registry_has_required_rules():
         "lock-pairing",
         "condvar-wait-loop",
         "yield-in-critical",
+        "adhoc-metrics",
     } <= names
     assert len(names) >= 5
 
@@ -226,6 +227,72 @@ def test_yield_in_critical_miss_when_released_first():
                 yield self.cond.wait(ctx)
         """
     ) == []
+
+
+# ---------------------------------------------------------------------------
+# adhoc-metrics
+# ---------------------------------------------------------------------------
+
+
+def test_adhoc_metrics_hit_on_bare_counter_construction():
+    diags = _diags(
+        """
+        class Engine:
+            def __init__(self, env):
+                self.counters = Counter()
+                self.latency = Histogram()
+        """,
+        module="repro.engine.db",
+    )
+    assert [d.rule for d in diags] == ["adhoc-metrics", "adhoc-metrics"]
+    assert "env.metrics" in diags[0].message
+
+
+def test_adhoc_metrics_hit_on_collector_call():
+    diags = _diags(
+        """
+        def flush(self):
+            self.collector.record_latency("flush", 0.001)
+        """,
+        module="repro.storage.sstable",
+    )
+    assert [d.rule for d in diags] == ["adhoc-metrics"]
+
+
+def test_adhoc_metrics_miss_on_registry_usage():
+    assert _rules(
+        """
+        class Engine:
+            def __init__(self, env):
+                self.counters = env.metrics.group("engine.db", fresh=True)
+                self.latency = env.metrics.histogram("engine.db.flush")
+                env.metrics.gauge("engine.db.l0", lambda: 0)
+        """,
+        module="repro.engine.db",
+    ) == []
+
+
+def test_adhoc_metrics_miss_outside_scoped_packages():
+    # The harness and benchmarks legitimately construct collectors and
+    # histograms; only engine/core/storage are in scope.
+    code = """
+    def run(env):
+        h = Histogram()
+        collector.record_latency("write", 1e-5)
+    """
+    assert _rules(code, module="repro.harness.metrics") == []
+    assert _rules(code, module="repro.baselines.kvell") == []
+    assert _rules(code, module="repro.engine.db") == [
+        "adhoc-metrics",
+        "adhoc-metrics",
+    ]
+
+
+def test_adhoc_metrics_line_suppression():
+    code = (
+        "h = Histogram()  # lint: disable=adhoc-metrics  (local scratch)\n"
+    )
+    assert _rules(code, module="repro.core.worker") == []
 
 
 # ---------------------------------------------------------------------------

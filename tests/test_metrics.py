@@ -1,0 +1,414 @@
+"""Unit tests for the observability layer: histogram bucket math, counter
+groups, event log, perf contexts, the sim-time sampler, the exporters, and
+the collector slot discipline (reset / release / scoped_collector)."""
+
+import json
+
+import pytest
+
+from repro.engine import LSMEngine, make_env, rocksdb_options
+from repro.harness.metrics import MetricsCollector, scoped_collector
+from tests.conftest import run_process
+from repro.metrics import (
+    CounterGroup,
+    EventLog,
+    LogHistogram,
+    PerfContext,
+    Sampler,
+    StatsRegistry,
+    install_stats,
+    prometheus_text,
+    snapshot_json,
+    timeseries_csv,
+    write_stats_files,
+)
+
+# ---------------------------------------------------------------------------
+# LogHistogram bucket math
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_empty():
+    h = LogHistogram()
+    assert h.count == 0
+    assert h.percentile(50) == 0.0
+    assert h.p99 == 0.0
+    assert h.mean == 0.0
+    assert h.max == 0.0
+    assert h.summary()["count"] == 0
+
+
+def test_histogram_single_sample_is_exact():
+    h = LogHistogram()
+    h.record(3.5e-4)
+    # With one sample, every percentile clamps to the observed value.
+    assert h.p50 == pytest.approx(3.5e-4)
+    assert h.p99 == pytest.approx(3.5e-4)
+    assert h.min == h.max == pytest.approx(3.5e-4)
+    assert h.mean == pytest.approx(3.5e-4)
+
+
+def test_histogram_percentiles_are_bucket_bounds_within_minmax():
+    h = LogHistogram()
+    for v in (1e-6, 2e-6, 4e-6, 8e-6, 1.6e-5, 3.2e-5):
+        h.record(v)
+    # Percentile answers sit on bucket upper bounds, clamped to [min, max].
+    assert h.min <= h.p50 <= h.p95 <= h.p99 <= h.max
+    assert h.p99 == pytest.approx(3.2e-5)
+    assert h.count == 6
+    assert h.sum == pytest.approx(6.3e-5)
+
+
+def test_histogram_overflow_reports_observed_max():
+    h = LogHistogram()
+    huge = LogHistogram._BOUNDS[-1] * 100.0  # beyond the last bucket bound
+    h.record(1e-3)
+    h.record(huge)
+    assert h.overflow == 1
+    assert h.p99 == pytest.approx(huge)  # rank in overflow bucket -> max
+    assert h.max == pytest.approx(huge)
+
+
+def test_histogram_merge_matches_combined_recording():
+    a, b, combined = LogHistogram(), LogHistogram(), LogHistogram()
+    for i in range(1, 50):
+        v = i * 1e-6
+        (a if i % 2 else b).record(v)
+        combined.record(v)
+    a.merge(b)
+    assert a.count == combined.count
+    assert a.sum == pytest.approx(combined.sum)
+    assert a.min == combined.min and a.max == combined.max
+    assert a.buckets == combined.buckets
+    assert a.summary() == combined.summary()
+
+
+def test_histogram_merge_empty_cases():
+    a, b = LogHistogram(), LogHistogram()
+    a.merge(b)  # empty into empty
+    assert a.count == 0
+    b.record(2.0e-6)
+    a.merge(b)  # non-empty into empty adopts min/max
+    assert (a.min, a.max, a.count) == (2.0e-6, 2.0e-6, 1)
+    b.merge(LogHistogram())  # empty into non-empty is a no-op
+    assert b.count == 1
+
+
+# ---------------------------------------------------------------------------
+# CounterGroup / registry
+# ---------------------------------------------------------------------------
+
+
+def test_counter_group_api_and_registry_expansion():
+    reg = StatsRegistry()
+    grp = reg.group("engine.db-0")
+    grp.add("flushes")
+    grp.add("wal_bytes", 4096)
+    assert grp.get("flushes") == 1.0
+    assert grp.get("missing") == 0.0
+    assert grp.as_dict() == {"flushes": 1.0, "wal_bytes": 4096.0}
+    reg.counter("standalone").add(2)
+    values = reg.counter_values()
+    assert values["engine.db-0.flushes"] == 1.0
+    assert values["engine.db-0.wal_bytes"] == 4096.0
+    assert values["standalone"] == 2.0
+    assert list(values) == sorted(values)  # export order is sorted
+
+
+def test_registry_group_fresh_replaces_after_reopen():
+    reg = StatsRegistry()
+    reg.group("engine.db-0").add("flushes", 7)
+    assert reg.group("engine.db-0").get("flushes") == 7.0  # get-or-create
+    fresh = reg.group("engine.db-0", fresh=True)  # simulated crash+reopen
+    assert fresh.get("flushes") == 0.0
+    assert reg.counter_values().get("engine.db-0.flushes", 0.0) == 0.0
+
+
+def test_registry_histogram_fresh_and_gauges():
+    reg = StatsRegistry()
+    reg.histogram("w.batch").record(1e-6)
+    assert reg.histogram("w.batch").count == 1
+    assert reg.histogram("w.batch", fresh=True).count == 0
+    depth = [3]
+    reg.gauge("q.depth", lambda: depth[0])
+    assert reg.gauge_values() == {"q.depth": 3.0}
+    depth[0] = 5
+    assert reg.gauge_values() == {"q.depth": 5.0}
+
+
+# ---------------------------------------------------------------------------
+# EventLog
+# ---------------------------------------------------------------------------
+
+
+def test_event_log_begin_end_summary():
+    log = EventLog()
+    t0 = log.begin("write_stall", 1.0, engine="db-0")
+    t1 = log.begin("compaction_backlog", 2.0)
+    assert log.active_count() == 2
+    assert log.active_count("write_stall") == 1
+    log.end(t0, 1.5)
+    assert log.active_count("write_stall") == 0
+    summary = log.summary()
+    assert summary["write_stall"] == {
+        "count": 1, "total_seconds": 0.5, "active": 0,
+    }
+    assert summary["compaction_backlog"]["active"] == 1
+    dicts = log.as_dicts()
+    assert dicts[0]["duration"] == pytest.approx(0.5)
+    assert dicts[0]["detail"] == {"engine": "db-0"}
+    assert dicts[1]["end"] is None and dicts[1]["duration"] is None
+    log.end(t1, 4.0)
+    assert log.summary()["compaction_backlog"]["total_seconds"] == 2.0
+
+
+def test_engine_stalls_land_in_event_log():
+    """Write stalls and compaction backlog are recorded as begin/end events
+    on the env's registry (the sampler output and checks.txt surface them)."""
+    env = make_env(n_cores=4)
+    options = rocksdb_options(
+        write_buffer_size=1024,  # tiny memtable forces L0 pileup + stalls
+        l0_compaction_trigger=2,
+        l0_slowdown_trigger=3,
+        l0_stop_trigger=4,
+        target_file_size=1024,
+        max_bytes_for_level_base=4096,
+    )
+    engine = run_process(env, LSMEngine.open(env, "db", options))
+
+    def writer(t):
+        ctx = env.cpu.new_thread("writer-%d" % t)
+        for i in range(300):
+            yield from engine.put(ctx, b"k%07d" % (t * 1000000 + i), b"v" * 100)
+
+    for t in range(2):
+        env.sim.spawn(writer(t), "w%d" % t)
+    env.sim.run()
+    summary = env.metrics.events.summary()
+    assert summary["write_stall"]["count"] > 0
+    assert summary["write_stall"]["total_seconds"] > 0.0
+    assert "compaction_backlog" in summary
+    # Every stall that began also ended, with a valid interval.
+    for entry in env.metrics.events.as_dicts():
+        if entry["kind"] == "write_stall":
+            assert entry["end"] is not None
+            assert entry["end"] >= entry["begin"]
+            assert entry["detail"]["engine"] == "db"
+            assert entry["detail"]["reason"]
+
+
+# ---------------------------------------------------------------------------
+# PerfContext
+# ---------------------------------------------------------------------------
+
+
+def test_perf_context_add_merge_as_dict():
+    p = PerfContext()
+    assert p.as_dict() == {}  # only nonzero fields export
+    p.add("wal_appends")
+    p.add("wal_bytes", 128)
+    p.add_wait("wal", 1e-5)
+    p.add_wait("cpu_queue", 2e-5)
+    p.add_wait("unknown-category", 99.0)  # silently dropped
+    assert p.as_dict() == {
+        "wal_appends": 1.0,
+        "wal_bytes": 128.0,
+        "wal_wait_seconds": 1e-5,
+        "queue_wait_seconds": 2e-5,
+    }
+    q = PerfContext()
+    q.add("wal_appends", 2)
+    q.merge(p)
+    assert q.wal_appends == 3.0
+    assert q.wal_bytes == 128.0
+
+
+# ---------------------------------------------------------------------------
+# Sampler
+# ---------------------------------------------------------------------------
+
+
+def _tick_env_with_gauge():
+    env = make_env(n_cores=2)
+    state = {"v": 0.0}
+    env.metrics.gauge("test.v", lambda: state["v"])
+    return env, state
+
+
+def test_sampler_ticks_at_interval_and_stops():
+    env, state = _tick_env_with_gauge()
+    sampler = Sampler(env, interval=0.5)
+
+    def driver():
+        sampler.start()
+        for i in range(5):
+            state["v"] = float(i)
+            yield env.sim.timeout(1.0)
+        sampler.stop()
+
+    env.sim.spawn(driver(), "driver")
+    env.sim.run()  # must terminate: stopped ticker exits on wakeup
+    times = [t for t, _row in sampler.samples]
+    assert times == [pytest.approx(0.5 * k) for k in range(len(times))]
+    assert len(times) >= 8
+    assert "test.v" in sampler.column_names()
+
+
+def test_sampler_start_is_idempotent_and_restartable():
+    env, _state = _tick_env_with_gauge()
+    sampler = Sampler(env, interval=0.25)
+
+    def driver():
+        sampler.start()
+        sampler.start()  # second start must not spawn a second ticker
+        yield env.sim.timeout(1.0)
+        sampler.stop()
+        yield env.sim.timeout(1.0)
+        sampler.start()  # new generation, same sampler
+        yield env.sim.timeout(0.6)
+        sampler.stop()
+
+    env.sim.spawn(driver(), "driver")
+    env.sim.run()
+    times = [t for t, _row in sampler.samples]
+    assert times == sorted(times)
+    assert len(times) == len(set(times))  # no duplicated ticks
+    # A gap where the sampler was stopped, then samples resume.
+    assert any(b - a > 0.25 * 1.5 for a, b in zip(times, times[1:]))
+
+
+def test_sampler_rejects_nonpositive_interval():
+    env, _state = _tick_env_with_gauge()
+    with pytest.raises(ValueError):
+        Sampler(env, interval=0.0)
+
+
+def test_install_stats_enables_perf_and_installs_sampler():
+    env = make_env(n_cores=2)
+    assert env.metrics.perf_enabled is False
+    assert env.metrics.sampler is None
+    sampler = install_stats(env, interval_ms=2.0)
+    assert env.metrics.perf_enabled is True
+    assert env.metrics.sampler is sampler
+    assert sampler.interval == pytest.approx(0.002)
+    assert not sampler.running  # installed, not started
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def _populated_registry():
+    reg = StatsRegistry()
+    reg.group("engine.db-0").add("flushes", 3)
+    reg.counter("obm.rebalances").add(1)
+    reg.gauge("obm.queue_depth", lambda: 4.0)
+    reg.histogram("w0.batch").record(2e-6)
+    reg.provider("device.bytes", lambda: {"wal": 100.0, "flush": 200.0})
+    token = reg.events.begin("write_stall", 0.5)
+    reg.events.end(token, 0.75)
+    return reg
+
+
+def test_snapshot_json_round_trips():
+    doc = json.loads(snapshot_json(_populated_registry()))
+    assert doc["counters"]["engine.db-0.flushes"] == 3.0
+    assert doc["gauges"]["obm.queue_depth"] == 4.0
+    assert doc["histograms"]["w0.batch"]["count"] == 1
+    assert doc["providers"]["device.bytes"]["flush"] == 200.0
+    assert doc["events"][0]["kind"] == "write_stall"
+    assert doc["events"][0]["duration"] == pytest.approx(0.25)
+
+
+def test_prometheus_text_format():
+    text = prometheus_text(_populated_registry())
+    assert "# TYPE p2kvs_engine_db_0_flushes counter" in text
+    assert "p2kvs_engine_db_0_flushes 3" in text
+    assert "# TYPE p2kvs_obm_queue_depth gauge" in text
+    assert "# TYPE p2kvs_w0_batch summary" in text
+    assert 'p2kvs_w0_batch{quantile="0.99"}' in text
+    assert "p2kvs_w0_batch_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_timeseries_csv_shape():
+    env, state = _tick_env_with_gauge()
+    sampler = Sampler(env, interval=0.5)
+
+    def driver():
+        sampler.start()
+        state["v"] = 7.0
+        yield env.sim.timeout(1.2)
+        sampler.stop()
+
+    env.sim.spawn(driver(), "driver")
+    env.sim.run()
+    csv = timeseries_csv(sampler)
+    lines = csv.strip().split("\n")
+    header = lines[0].split(",")
+    assert header[0] == "time"
+    assert "test.v" in header  # alongside the machine gauges make_env adds
+    assert len(lines) >= 3  # header + ticks at 0, 0.5, 1.0
+    col = header.index("test.v")
+    assert lines[2].split(",")[col] == "7"
+
+
+def test_write_stats_files(tmp_path):
+    env, _state = _tick_env_with_gauge()
+    sampler = install_stats(env, interval_ms=500.0)
+
+    def driver():
+        sampler.start()
+        yield env.sim.timeout(1.0)
+        sampler.stop()
+
+    env.sim.spawn(driver(), "driver")
+    env.sim.run()
+    base = str(tmp_path / "stats")
+    paths = write_stats_files(env.metrics, base)
+    assert sorted(paths) == ["csv", "json", "prom"]
+    for path in paths.values():
+        with open(path) as f:
+            assert f.read().strip()
+    # Without a sampler the CSV is skipped.
+    bare = write_stats_files(StatsRegistry(), str(tmp_path / "bare"))
+    assert sorted(bare) == ["json", "prom"]
+
+
+# ---------------------------------------------------------------------------
+# Collector slot discipline
+# ---------------------------------------------------------------------------
+
+
+def test_collector_overlap_asserts_and_release_frees_slot(env):
+    a = MetricsCollector(env, "sys-a")
+    a.start()
+    b = MetricsCollector(env, "sys-b")
+    with pytest.raises(AssertionError, match="active MetricsCollector"):
+        b.start()
+    a.release()
+    b.start()  # slot is free again
+    b.release()
+
+
+def test_collector_reset_clears_state(env):
+    c = MetricsCollector(env, "sys")
+    c.start()
+    c.record_latency("write", 1e-5)
+    c.reset()
+    assert getattr(env, "_active_collector", None) is None
+    assert c.latency == {}
+    c.start()  # a reset collector can measure a fresh window
+    metrics = c.finish(n_ops=0, user_bytes_written=0.0, memory_bytes=0)
+    assert metrics.n_ops == 0
+
+
+def test_scoped_collector_releases_on_exception(env):
+    with pytest.raises(RuntimeError):
+        with scoped_collector(env, "sys") as c:
+            c.start()
+            raise RuntimeError("boom")
+    assert getattr(env, "_active_collector", None) is None
+    with scoped_collector(env, "sys2") as c2:
+        c2.start()  # previous scope must not leak into this one

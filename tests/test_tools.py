@@ -7,6 +7,18 @@ import pytest
 from repro.tools import dbbench, ycsb
 
 
+def _csv_column(csv_text, name):
+    """All non-empty values of one column of a stats CSV, as floats."""
+    lines = csv_text.strip().split("\n")
+    header = lines[0].split(",")
+    idx = header.index(name)
+    return [
+        float(cells[idx])
+        for cells in (line.split(",") for line in lines[1:])
+        if cells[idx]
+    ]
+
+
 def small_db_args(extra=()):
     return [
         "--num", "400",
@@ -84,6 +96,55 @@ class TestDbBench:
         )
         assert rc == 0
 
+    def test_stats_flag_writes_three_exports(self, tmp_path, capsys):
+        base = tmp_path / "s"
+        rc = dbbench.main(
+            small_db_args(
+                [
+                    "--benchmarks", "fillrandom",
+                    "--system", "p2kvs",
+                    "--stats",
+                    "--stats-interval-ms", "0.02",
+                    "--stats-out", str(base),
+                ]
+            )
+        )
+        assert rc == 0
+        snapshot = json.loads((tmp_path / "s.json").read_text())
+        assert any(k.endswith(".wal_appends") for k in snapshot["counters"])
+        prom = (tmp_path / "s.prom").read_text()
+        assert "# TYPE p2kvs_" in prom
+        csv = (tmp_path / "s.csv").read_text()
+        assert csv.startswith("time,")
+        out = capsys.readouterr().out
+        assert "stall/utilization timeline" in out
+        assert "wrote stats" in out
+
+    def test_stats_off_leaves_no_artifacts(self, tmp_path, capsys):
+        rc = dbbench.main(
+            small_db_args(
+                ["--benchmarks", "fillrandom", "--stats-out", str(tmp_path / "s")]
+            )
+        )
+        assert rc == 0
+        assert list(tmp_path.iterdir()) == []
+        assert "wrote stats" not in capsys.readouterr().out
+
+    def test_stats_multiple_benchmarks_get_separate_bases(self, tmp_path, capsys):
+        rc = dbbench.main(
+            small_db_args(
+                [
+                    "--benchmarks", "fillrandom,readrandom",
+                    "--stats",
+                    "--stats-out", str(tmp_path / "s"),
+                ]
+            )
+        )
+        assert rc == 0
+        for name in ("fillrandom", "readrandom"):
+            for ext in (".json", ".prom", ".csv"):
+                assert (tmp_path / ("s-%s%s" % (name, ext))).exists(), (name, ext)
+
 
 class TestYcsbCli:
     def args(self, extra=()):
@@ -126,3 +187,35 @@ class TestYcsbCli:
     def test_p2kvs_system(self, capsys):
         rc = ycsb.main(self.args(["--workload", "B", "--system", "p2kvs"]))
         assert rc == 0
+
+    def test_ycsb_a_stats_has_nonzero_queue_and_utilization(self, tmp_path, capsys):
+        """Acceptance criterion: a YCSB-A run with --stats emits all three
+        exports, and the sampled series shows nonzero OBM queue depth and
+        device utilization."""
+        base = tmp_path / "y"
+        rc = ycsb.main(
+            [
+                # 4 KiB values against the 256 KiB write buffer force real
+                # flush/compaction IO inside the short measured window.
+                "--workload", "A",
+                "--system", "p2kvs",
+                "--records", "2000",
+                "--ops", "2000",
+                "--threads", "2",
+                "--workers", "2",
+                "--cores", "8",
+                "--value-size", "4096",
+                "--stats",
+                "--stats-interval-ms", "0.02",
+                "--stats-out", str(base),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "y.json").exists()
+        assert (tmp_path / "y.prom").exists()
+        csv = (tmp_path / "y.csv").read_text()
+        assert any(v > 0 for v in _csv_column(csv, "p2kvs.obm.queue_depth"))
+        assert any(v > 0 for v in _csv_column(csv, "device.in_flight_ios"))
+        assert any(v > 0 for v in _csv_column(csv, "cpu.busy_cores"))
+        out = capsys.readouterr().out
+        assert "stall/utilization timeline" in out
