@@ -5,7 +5,8 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-regress bench-regress-update lint sanitize \
-	perturb-smoke ci trace-demo stats-demo clean
+	perturb-smoke critpath-smoke ci trace-demo stats-demo critpath-demo \
+	whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -44,8 +45,17 @@ perturb-smoke:
 	    || (echo "perturb-smoke: outputs differ across seeds" >&2; exit 1)
 	@rm -f .perturb-1.out .perturb-2.out .perturb-3.out
 
+# Critical-path / what-if smoke: a pinned fillrandom run must produce a
+# non-empty blame table and speedup predictions within tolerance of the
+# measured re-runs (see docs/CRITPATH.md).  Writes whatif-report.{txt,json}.
+critpath-smoke:
+	$(PY) -m repro.tools.whatif --system p2kvs --workers 8 --threads 8 \
+	    --device sata --value-size 4096 --num 2000 \
+	    --experiments wal-write-0.8x,channels+1 --check \
+	    --out whatif-report.txt --json whatif-report.json
+
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint test perturb-smoke bench-regress
+ci: lint test perturb-smoke critpath-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -62,7 +72,24 @@ stats-demo:
 	    --threads 16 --records 8000 --ops 8000 \
 	    --stats --stats-interval-ms 0.1 --stats-out stats-demo
 
+# Fillrandom with the edge log on: prints the critical-path blame ranking,
+# writes critpath-demo.json (the full report) and critpath-demo-trace.json
+# (Chrome trace with the makespan path as a track + flow arrows).
+critpath-demo:
+	$(PY) -m repro.tools.dbbench --system p2kvs --workers 4 --threads 8 \
+	    --cores 16 --benchmarks fillrandom --num 5000 \
+	    --critpath --critpath-out critpath-demo \
+	    --trace-out critpath-demo-trace.json
+
+# Predicted vs. measured virtual speedups on the pinned workload.
+whatif-demo:
+	$(PY) -m repro.tools.whatif --system p2kvs --workers 8 --threads 8 \
+	    --device sata --value-size 4096 --num 2000 \
+	    --experiments wal-write-0.8x,wal-write-0.5x,channels+1
+
 clean:
 	rm -f trace-demo.json quickstart-trace.json .perturb-*.out
 	rm -f BENCH_p2kvs.json stats-demo.json stats-demo.prom stats-demo.csv
+	rm -f critpath-demo.json critpath-demo-trace.json
+	rm -f whatif-report.txt whatif-report.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -508,6 +508,38 @@ class AdhocMetricsRule(LintRule):
                 )
 
 
+@register
+class UnlabeledWakeupRule(LintRule):
+    """Every blocked-process release inside the simulation kernel must go
+    through :func:`repro.sim.wakeup.wake` so the edge log sees a typed
+    wakeup edge; a bare ``event.succeed()`` produces an unlabeled "event"
+    edge and the critical-path extractor loses the resource attribution
+    (docs/CRITPATH.md)."""
+
+    name = "unlabeled-wakeup"
+    description = (
+        "no direct X.succeed(...) calls in repro.sim — release waiters via "
+        "repro.sim.wakeup.wake(event, ..., resource=...) so the critical-path "
+        "edge log records who woke whom and why"
+    )
+    scopes = ("repro.sim",)
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "succeed"
+            ):
+                yield self.diag(
+                    module,
+                    node,
+                    "%s.succeed() bypasses the wakeup edge log; call "
+                    "repro.sim.wakeup.wake(...) with a resource label instead"
+                    % (_dotted(node.func.value) or "<event>"),
+                )
+
+
 # ---------------------------------------------------------------------------
 # runners
 # ---------------------------------------------------------------------------

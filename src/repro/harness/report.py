@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 __all__ = [
     "ShapeCheck",
     "format_attribution",
+    "format_blame_table",
     "format_qps",
     "format_stall_timeline",
     "format_table",
@@ -71,6 +72,38 @@ def format_attribution(breakdown: dict) -> str:
     ]
     rows.append(["total", "100%", "%.3f ms" % (breakdown["total"] * 1e3)])
     return format_table(["category", "share", "time"], rows)
+
+
+def format_blame_table(blame: dict, max_rows: int = 15) -> str:
+    """Render a critical-path blame ranking.
+
+    ``blame`` is the dict produced by
+    :func:`repro.critpath.extract.aggregate_blame`: per-label seconds on the
+    extracted paths, share of the total, and how many request paths each
+    label appears on.
+    """
+    rows = [
+        [
+            row["label"],
+            "%.3f ms" % (row["seconds"] * 1e3),
+            "%.1f%%" % (row["share"] * 100.0),
+            row["paths"],
+        ]
+        for row in blame["rows"][:max_rows]
+    ]
+    hidden = len(blame["rows"]) - len(rows)
+    if hidden > 0:
+        rest = sum(row["seconds"] for row in blame["rows"][max_rows:])
+        rows.append(["(%d more)" % hidden, "%.3f ms" % (rest * 1e3), "", ""])
+    rows.append(
+        [
+            "total",
+            "%.3f ms" % (blame["total_seconds"] * 1e3),
+            "100%",
+            blame["n_paths"],
+        ]
+    )
+    return format_table(["critical-path blame", "time", "share", "paths"], rows)
 
 
 def format_stall_timeline(

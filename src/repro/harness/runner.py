@@ -366,14 +366,27 @@ def run_closed_loop(
 
     def user_thread(ctx, stream, thread_index):
         count = 0
+        tracer = env.sim.tracer
         for op in stream:
             started = env.sim.now
+            # p2KVS emits its own request spans (with routing args) from the
+            # accessing layer; for every other system the harness emits one
+            # per op so the critical-path extractor has walk endpoints.
+            span = (
+                tracer.begin(
+                    "request:%s" % op[0], "request", ctx.track, args={"op": op[0]}
+                )
+                if tracer.enabled and not is_p2kvs
+                else None
+            )
             if per_instance:
                 yield from system.execute(ctx, op, thread_index)
             elif is_p2kvs:
                 yield from system.execute(ctx, op, collector if measure else None)
             else:
                 yield from system.execute(ctx, op)
+            if span is not None:
+                span.finish()
             if measure and not (is_p2kvs and system.async_window and op[0] in ("insert", "update")):
                 collector.record_latency(
                     _VERB_CLASS[op[0]], env.sim.now - started

@@ -34,27 +34,38 @@ def snapshot_json(registry: StatsRegistry, indent: int = 2) -> str:
 
 
 def prometheus_text(registry: StatsRegistry) -> str:
-    """Prometheus text exposition format (0.0.4): counters, gauges, and
-    histogram summaries with quantile labels."""
+    """Prometheus text exposition format (0.0.4).
+
+    Counters and gauges map directly; every :class:`LogHistogram` is emitted
+    as a native ``histogram`` — the full cumulative ``_bucket{le="..."}``
+    series over the log-spaced bounds plus the mandatory ``+Inf`` bucket
+    (which includes the overflow count, so it always equals ``_count``).
+    Sections and series are sorted by name, so the output of a deterministic
+    run is byte-identical across reruns.
+    """
     lines = []
     for name, value in registry.counter_values().items():
         prom = _prom_name(name)
+        lines.append("# HELP %s counter %s" % (prom, name))
         lines.append("# TYPE %s counter" % prom)
         lines.append("%s %.17g" % (prom, value))
     for name, value in registry.gauge_values().items():
         prom = _prom_name(name)
+        lines.append("# HELP %s gauge %s" % (prom, name))
         lines.append("# TYPE %s gauge" % prom)
         lines.append("%s %.17g" % (prom, value))
     for name in sorted(registry.histograms):
         hist = registry.histograms[name]
         prom = _prom_name(name)
-        lines.append("# TYPE %s summary" % prom)
-        for q, value in (
-            ("0.5", hist.p50),
-            ("0.95", hist.p95),
-            ("0.99", hist.p99),
-        ):
-            lines.append('%s{quantile="%s"} %.17g' % (prom, q, value))
+        lines.append("# HELP %s histogram %s" % (prom, name))
+        lines.append("# TYPE %s histogram" % prom)
+        cumulative = 0
+        for bound, n in zip(hist._BOUNDS, hist.buckets):
+            cumulative += n
+            lines.append(
+                '%s_bucket{le="%.17g"} %d' % (prom, bound, cumulative)
+            )
+        lines.append('%s_bucket{le="+Inf"} %d' % (prom, cumulative + hist.overflow))
         lines.append("%s_sum %.17g" % (prom, hist.sum))
         lines.append("%s_count %d" % (prom, hist.count))
     return "\n".join(lines) + "\n"

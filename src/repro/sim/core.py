@@ -15,6 +15,9 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.trace.tracer import NULL_TRACER
 
+# lint: disable-file=unlabeled-wakeup -- the kernel defines succeed() and
+# annotates its own wakeups (timeouts, joins, process completion) inline.
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -43,7 +46,7 @@ class Event:
     yielding it.
     """
 
-    __slots__ = ("sim", "_value", "_ok", "_callbacks", "_hb")
+    __slots__ = ("sim", "_value", "_ok", "_callbacks", "_hb", "_edge")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -53,6 +56,9 @@ class Event:
         #: happens-before clock stamped by the analysis monitor (if any) when
         #: the event triggers; joined into the waiter's clock on resume.
         self._hb = None
+        #: wakeup edge stamped by the edgelog (if any) at the release site;
+        #: consumed by repro.critpath when the waiter resumes.
+        self._edge = None
 
     @property
     def triggered(self) -> bool:
@@ -77,6 +83,11 @@ class Event:
         monitor = self.sim.monitor
         if monitor is not None:
             monitor.on_send(self)
+        edgelog = self.sim.edgelog
+        if edgelog is not None and self._edge is None:
+            # Un-annotated trigger (engine-level future): generic hand-off
+            # edge so the critical path still flows through the waker.
+            edgelog.annotate(self, "event")
         self.sim._queue_callbacks(self)
         return self
 
@@ -115,6 +126,13 @@ class Timeout(Event):
         if delay < 0:
             raise SimError("negative timeout: %r" % (delay,))
         super().__init__(sim)
+        edgelog = sim.edgelog
+        if edgelog is not None:
+            # Timers never pass through succeed() — Simulator.run delivers
+            # them directly — so the edge must be stamped at creation.
+            edgelog.annotate(
+                self, "timeout", kind="resource", initiator=sim.current_process
+            )
         sim._schedule(delay, self, value)
 
 
@@ -138,6 +156,11 @@ class LateTimeout(Event):
         if delay < 0:
             raise SimError("negative timeout: %r" % (delay,))
         super().__init__(sim)
+        edgelog = sim.edgelog
+        if edgelog is not None:
+            edgelog.annotate(
+                self, "timeout", kind="resource", initiator=sim.current_process
+            )
         sim._push(sim._now + delay, self, value, rank=self.RANK)
 
 
@@ -161,6 +184,9 @@ class Process(Event):
         monitor = sim.monitor
         if monitor is not None:
             monitor.on_spawn(self)
+        edgelog = sim.edgelog
+        if edgelog is not None:
+            edgelog.on_spawn(self, sim.current_process, sim._now)
         # Kick off on the next loop iteration.
         sim._queue_deferred(self._resume_ok, None)
 
@@ -171,6 +197,9 @@ class Process(Event):
         monitor = self.sim.monitor
         if monitor is not None:
             monitor.on_receive(self, event)
+        edgelog = self.sim.edgelog
+        if edgelog is not None:
+            edgelog.on_resume(self, event, self.sim._now)
         if event.ok:
             self._step(lambda: self.gen.send(event.value))
         else:
@@ -187,6 +216,11 @@ class Process(Event):
                 # future acquirer would hang silently.  Fail loudly instead.
                 self._exit_holding_locks()
                 return
+            edgelog = sim.edgelog
+            if edgelog is not None:
+                # Waker is still `self` here (current_process), so joiners'
+                # paths continue through the finished process's history.
+                edgelog.annotate(self, "process")
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
@@ -254,6 +288,11 @@ class AllOf(Event):
             self._results[index] = ev.value
             self._pending -= 1
             if self._pending == 0:
+                edgelog = self.sim.edgelog
+                if edgelog is not None:
+                    # The join completes through its last child: record the
+                    # child event so the walk can follow the child's edge.
+                    edgelog.annotate(self, "join", via=ev)
                 self.succeed(self._results)
 
         return on_child
@@ -279,6 +318,9 @@ class AnyOf(Event):
             if not ev.ok:
                 self.fail(ev.value)
             else:
+                edgelog = self.sim.edgelog
+                if edgelog is not None:
+                    edgelog.annotate(self, "join", via=ev)
                 self.succeed((index, ev.value))
 
         return on_child
@@ -297,6 +339,8 @@ class Simulator:
         self.tracer = NULL_TRACER
         #: analysis hook (see repro.analysis.sanitizer); None = zero overhead.
         self.monitor = None
+        #: wakeup-edge recorder (see repro.critpath); None = zero overhead.
+        self.edgelog = None
         #: the Process currently executing a step, or None in kernel context.
         self.current_process: Optional["Process"] = None
         #: seeded RNG for schedule perturbation; None keeps FIFO tie-break.

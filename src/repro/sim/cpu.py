@@ -21,6 +21,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sim.core import Event, SimError, Simulator
 from repro.sim.stats import UtilizationTracker
+from repro.sim.wakeup import wake
 from repro.trace.tracer import thread_track
 
 __all__ = ["CPUSet", "ThreadContext"]
@@ -127,6 +128,9 @@ class CPUSet:
         self._pinned_cores: set = set()
         self.busy_by_kind: Dict[str, float] = defaultdict(float)
         self.threads: List[ThreadContext] = []
+        #: what-if knob (see repro.critpath.whatif): burst durations for a
+        #: category are multiplied by its factor.  Empty = exact baseline.
+        self.category_scale: Dict[str, float] = {}
 
     # -- thread management -------------------------------------------------
 
@@ -147,8 +151,14 @@ class CPUSet:
         """Occupy a core for ``duration`` seconds; yield the returned event."""
         if duration < 0:
             raise SimError("negative CPU burst")
+        if self.category_scale:
+            duration *= self.category_scale.get(category, 1.0)
         ev = self.sim.event()
-        item = (ctx, duration, category, ev, self.sim.now)
+        initiator = self.sim.current_process
+        edgelog = self.sim.edgelog
+        if edgelog is not None:
+            edgelog.bind_track(ctx.track, initiator)
+        item = (ctx, duration, category, ev, self.sim.now, initiator)
         core = self._pick_core(ctx)
         if core is None:
             if ctx.pinned is not None:
@@ -176,7 +186,7 @@ class CPUSet:
         return fallback
 
     def _start(self, core: int, item: Tuple) -> None:
-        ctx, duration, category, ev, queued_at = item
+        ctx, duration, category, ev, queued_at, initiator = item
         now = self.sim.now
         if queued_at < now:
             ctx.account_wait("cpu_queue", now - queued_at)
@@ -190,7 +200,9 @@ class CPUSet:
         self._busy[core] = True
         done = self.sim.timeout(duration)
         done.add_callback(
-            lambda _ev: self._finish(core, ctx, now, duration, category, ev)
+            lambda _ev: self._finish(
+                core, ctx, now, duration, category, ev, queued_at, initiator
+            )
         )
 
     def _finish(
@@ -201,6 +213,8 @@ class CPUSet:
         duration: float,
         category: str,
         ev: Event,
+        queued_at: float,
+        initiator,
     ) -> None:
         end = self.sim.now
         self.trackers[core].mark_busy(started, end)
@@ -219,7 +233,16 @@ class CPUSet:
         self.busy_by_kind[ctx.kind] += duration
         self._busy[core] = False
         self._dispatch(core)
-        ev.succeed()
+        wake(
+            ev,
+            resource="cpu",
+            category=category,
+            kind="resource",
+            begin=started,
+            queued_at=queued_at,
+            initiator=initiator,
+            track="cores:core-%d" % core,
+        )
 
     def _dispatch(self, core: int) -> None:
         if self._pinned_waiting[core]:

@@ -20,6 +20,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from repro.sim.core import Event, SimError, Simulator
 from repro.sim.stats import Counter, TimeSeries
+from repro.sim.wakeup import wake
 
 __all__ = [
     "DeviceSpec",
@@ -96,7 +97,10 @@ class StorageDevice:
         # attributed to a channel — the tracer draws one timeline per channel.
         self._free_channels = list(range(spec.channels))
         self._pipe_free_at: Dict[str, float] = {"read": 0.0, "write": 0.0}
-        self._queue: Deque[Tuple[str, int, bool, Event, str]] = deque()
+        self._queue: Deque[Tuple] = deque()
+        #: what-if knob (see repro.critpath.whatif): service time (setup +
+        #: transfer) for a category is multiplied by its factor.
+        self.category_scale: Dict[str, float] = {}
         self.bytes_by_category = Counter()
         self.bytes_by_kind = Counter()
         self.io_count = Counter()
@@ -117,7 +121,19 @@ class StorageDevice:
         which is why small-KV reads are CPU-bound rather than IOPS-bound."""
         self.io_count.add("ram_read")
         self.bytes_by_kind.add("ram", nbytes)
-        return self.sim.timeout(self.RAM_LATENCY + nbytes / self.RAM_BANDWIDTH)
+        done = self.sim.timeout(self.RAM_LATENCY + nbytes / self.RAM_BANDWIDTH)
+        edgelog = self.sim.edgelog
+        if edgelog is not None:
+            # Relabel the plain timeout edge: blame page-cache reads to the
+            # device layer, not the kernel timer.
+            edgelog.annotate(
+                done,
+                "device",
+                category="ram_read",
+                kind="resource",
+                initiator=self.sim.current_process,
+            )
+        return done
 
     def read(self, nbytes: int, category: str = "read", random: bool = False) -> Event:
         return self.submit("read", nbytes, category=category, random=random)
@@ -132,16 +148,28 @@ class StorageDevice:
         if nbytes < 0:
             raise SimError("negative IO size")
         ev = self.sim.event()
+        now = self.sim.now
+        initiator = self.sim.current_process
         if self._free_channels:
-            self._start(self._free_channels.pop(), kind, nbytes, random, ev, category)
+            self._start(
+                self._free_channels.pop(), kind, nbytes, random, ev, category, now, initiator
+            )
         else:
-            self._queue.append((kind, nbytes, random, ev, category))
+            self._queue.append((kind, nbytes, random, ev, category, now, initiator))
         return ev
 
     # -- internals -------------------------------------------------------------
 
     def _start(
-        self, channel: int, kind: str, nbytes: int, random: bool, ev: Event, category: str
+        self,
+        channel: int,
+        kind: str,
+        nbytes: int,
+        random: bool,
+        ev: Event,
+        category: str,
+        queued_at: float,
+        initiator,
     ) -> None:
         """Two-stage service: per-IO setup overlaps across channels, but the
         byte transfer reserves the shared bandwidth pipe for its direction —
@@ -151,19 +179,34 @@ class StorageDevice:
         bandwidth = (
             self.spec.read_bandwidth if kind == "read" else self.spec.write_bandwidth
         )
+        transfer = nbytes / bandwidth
+        if self.category_scale:
+            factor = self.category_scale.get(category, 1.0)
+            setup *= factor
+            transfer *= factor
         started = self.sim.now
         setup_end = started + setup
         pipe_free = self._pipe_free_at[kind]
         transfer_start = max(setup_end, pipe_free)
-        transfer_end = transfer_start + nbytes / bandwidth
+        transfer_end = transfer_start + transfer
         self._pipe_free_at[kind] = transfer_end
         done = self.sim.timeout(transfer_end - started)
         done.add_callback(
-            lambda _ev: self._finish(channel, kind, nbytes, ev, category, started)
+            lambda _ev: self._finish(
+                channel, kind, nbytes, ev, category, started, queued_at, initiator
+            )
         )
 
     def _finish(
-        self, channel: int, kind: str, nbytes: int, ev: Event, category: str, started: float
+        self,
+        channel: int,
+        kind: str,
+        nbytes: int,
+        ev: Event,
+        category: str,
+        started: float,
+        queued_at: float,
+        initiator,
     ) -> None:
         now = self.sim.now
         self.busy_channel_time += now - started
@@ -190,7 +233,16 @@ class StorageDevice:
             self._start(channel, *self._queue.popleft())
         else:
             self._free_channels.append(channel)
-        ev.succeed()
+        wake(
+            ev,
+            resource="device",
+            category="%s:%s" % (kind, category),
+            kind="resource",
+            begin=started,
+            queued_at=queued_at,
+            initiator=initiator,
+            track="device:ch-%d" % channel,
+        )
 
     # -- metrics -----------------------------------------------------------------
 

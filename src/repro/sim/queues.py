@@ -8,9 +8,10 @@ synchronous ``peek()`` / ``try_pop()`` accessors.
 """
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Tuple
 
 from repro.sim.core import Event, Simulator
+from repro.sim.wakeup import wake
 
 __all__ = ["FIFOQueue", "PriorityQueue", "QueueEmpty"]
 
@@ -37,7 +38,7 @@ class FIFOQueue:
         self.name = name
         self._san_key = "queue:%s#%d" % (name, next(_instance_counter))
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._getters: Deque[Tuple[Event, float]] = deque()
         self.total_enqueued = 0
         self.max_depth = 0
 
@@ -59,7 +60,8 @@ class FIFOQueue:
             monitor.on_sync(self)
         self.total_enqueued += 1
         if self._getters:
-            self._getters.popleft().succeed(item)
+            ev, since = self._getters.popleft()
+            wake(ev, item, resource="queue:%s" % self.name, queued_at=since)
             return
         self._items.append(item)
         if len(self._items) > self.max_depth:
@@ -72,9 +74,9 @@ class FIFOQueue:
             monitor.on_sync(self)
         ev = self.sim.event()
         if self._items:
-            ev.succeed(self._items.popleft())
+            wake(ev, self._items.popleft(), resource="queue:%s" % self.name)
         else:
-            self._getters.append(ev)
+            self._getters.append((ev, self.sim.now))
         return ev
 
     # peek/try_pop are the OBM's lock-free head inspection (Algorithm 1):
@@ -115,7 +117,7 @@ class PriorityQueue:
         self.name = name
         self._san_key = "queue:%s#%d" % (name, next(_instance_counter))
         self._items: list = []
-        self._getters: Deque[Event] = deque()
+        self._getters: Deque[Tuple[Event, float]] = deque()
         self._seq = 0
         self.total_enqueued = 0
         self.max_depth = 0
@@ -133,7 +135,8 @@ class PriorityQueue:
             monitor.on_sync(self)
         self.total_enqueued += 1
         if self._getters:
-            self._getters.popleft().succeed(item)
+            ev, since = self._getters.popleft()
+            wake(ev, item, resource="queue:%s" % self.name, queued_at=since)
             return
         self._seq += 1
         self._heapq.heappush(self._items, (priority, self._seq, item))
@@ -146,9 +149,9 @@ class PriorityQueue:
             monitor.on_sync(self)
         ev = self.sim.event()
         if self._items:
-            ev.succeed(self._heapq.heappop(self._items)[2])
+            wake(ev, self._heapq.heappop(self._items)[2], resource="queue:%s" % self.name)
         else:
-            self._getters.append(ev)
+            self._getters.append((ev, self.sim.now))
         return ev
 
     def peek(self) -> Optional[Any]:

@@ -15,6 +15,7 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 from repro.sim.core import Event, SimError, Simulator
+from repro.sim.wakeup import wake
 
 __all__ = ["Barrier", "Condition", "Lock", "Semaphore"]
 
@@ -62,7 +63,7 @@ class Lock:
             self._grant(proc)
             if monitor is not None:
                 monitor.on_sync(self)
-            ev.succeed()
+            wake(ev, resource="lock:%s" % self.name, category=category or "")
         else:
             self._waiters.append((ev, ctx, category, sim.now, proc))
         return ev
@@ -87,7 +88,12 @@ class Lock:
             if ctx is not None and category is not None:
                 ctx.account_wait(category, self.sim.now - since)
             self._grant(proc)
-            ev.succeed()
+            wake(
+                ev,
+                resource="lock:%s" % self.name,
+                category=category or "",
+                queued_at=since,
+            )
         else:
             self._locked = False
 
@@ -102,7 +108,7 @@ class Semaphore:
         self.name = name
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: Deque[Event] = deque()
+        self._waiters: Deque[Tuple[Event, float]] = deque()
 
     @property
     def in_use(self) -> int:
@@ -115,9 +121,9 @@ class Semaphore:
             monitor.on_sync(self)
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed()
+            wake(ev, resource="sem:%s" % self.name)
         else:
-            self._waiters.append(ev)
+            self._waiters.append((ev, self.sim.now))
         return ev
 
     def release(self) -> None:
@@ -127,7 +133,8 @@ class Semaphore:
         if monitor is not None:
             monitor.on_sync(self)
         if self._waiters:
-            self._waiters.popleft().succeed()
+            ev, since = self._waiters.popleft()
+            wake(ev, resource="sem:%s" % self.name, queued_at=since)
         else:
             self._in_use -= 1
 
@@ -144,13 +151,13 @@ class Condition:
     def __init__(self, sim: Simulator, name: str = "cond"):
         self.sim = sim
         self.name = name
-        self._waiters: Deque[Event] = deque()
+        self._waiters: Deque[Tuple[Event, float, Optional[str]]] = deque()
 
     def wait(self, ctx=None, category: Optional[str] = None) -> Event:
         ev = self.sim.event()
-        self._waiters.append(ev)
+        since = self.sim.now
+        self._waiters.append((ev, since, category))
         if ctx is not None and category is not None:
-            since = self.sim.now
 
             def _account(_ev, ctx=ctx, category=category, since=since):
                 ctx.account_wait(category, self.sim.now - since)
@@ -163,7 +170,13 @@ class Condition:
         if monitor is not None and self._waiters:
             monitor.on_sync(self)
         for _ in range(min(n, len(self._waiters))):
-            self._waiters.popleft().succeed()
+            ev, since, category = self._waiters.popleft()
+            wake(
+                ev,
+                resource="cond:%s" % self.name,
+                category=category or "",
+                queued_at=since,
+            )
 
     def notify_all(self) -> None:
         self.notify(len(self._waiters))
@@ -195,5 +208,5 @@ class Barrier:
         self._arrived += 1
         ev = self._event
         if self._arrived >= self.parties:
-            ev.succeed()
+            wake(ev, resource="barrier:%s" % self.name)
         return ev

@@ -1,0 +1,54 @@
+"""The edge-emitting release helper for simulation primitives.
+
+Every place the simulation layer releases a blocked waiter must call
+:func:`wake` instead of ``event.succeed()`` so that, when an
+:class:`~repro.critpath.edgelog.EdgeLog` is installed, the wakeup carries a
+typed edge describing *which resource* released the waiter and *when the
+waiter started waiting*.  The ``unlabeled-wakeup`` lint rule
+(:mod:`repro.analysis.lint`) enforces this for all of ``repro.sim`` — a bare
+``succeed()`` on a waiter event is a critical-path blind spot.
+
+With no EdgeLog installed this is exactly ``event.succeed(value)``: no
+allocation, no bookkeeping, no behavioural difference.
+"""
+
+from typing import Optional
+
+__all__ = ["wake"]
+
+
+def wake(
+    event,
+    value=None,
+    *,
+    resource: str,
+    category: str = "",
+    kind: str = "handoff",
+    begin: Optional[float] = None,
+    queued_at: Optional[float] = None,
+    initiator=None,
+    track: Optional[str] = None,
+):
+    """Succeed ``event``, annotating it with a wakeup edge when recording.
+
+    ``resource`` names what released the waiter (``"lock:mem-stage"``,
+    ``"cpu"``, ``"device"``, ``"queue:obm-0"``...); ``category`` carries the
+    workload category already used by metrics accounting.  For
+    ``kind="resource"`` edges, ``begin``/``queued_at`` delimit the service
+    and queueing intervals and ``initiator`` is the process that requested
+    the activity; handoffs only need ``queued_at`` (when the waiter began
+    waiting).
+    """
+    edgelog = event.sim.edgelog
+    if edgelog is not None:
+        edgelog.annotate(
+            event,
+            resource,
+            category=category,
+            kind=kind,
+            begin=begin,
+            queued_at=queued_at,
+            initiator=initiator,
+            track=track,
+        )
+    event.succeed(value)  # lint: disable=unlabeled-wakeup

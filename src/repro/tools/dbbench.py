@@ -33,7 +33,13 @@ from repro.harness import (
     preload,
     run_closed_loop,
 )
-from repro.harness.report import format_attribution, format_qps, format_table
+from repro.critpath import (
+    critpath_report,
+    install_edgelog,
+    makespan_path,
+    path_trace_extras,
+)
+from repro.harness.report import format_attribution, format_blame_table, format_qps, format_table
 from repro.metrics import install_stats, write_stats_files
 from repro.sim.device import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO
 from repro.trace import install_tracer, write_chrome_trace
@@ -110,7 +116,26 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarks the benchmark name is appended to the file name",
     )
     add_stats_args(parser)
+    add_critpath_args(parser)
     return parser
+
+
+def add_critpath_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --critpath flag family (dbbench + ycsb; docs/CRITPATH.md)."""
+    parser.add_argument(
+        "--critpath",
+        action="store_true",
+        help="record wakeup edges and extract per-request critical paths; "
+        "prints a blame ranking and, with --trace-out, draws the makespan "
+        "path as Perfetto flow arrows",
+    )
+    parser.add_argument(
+        "--critpath-out",
+        metavar="BASE",
+        default="critpath",
+        help="base path for the critical-path report: BASE.json; with "
+        "several benchmarks the benchmark name is appended",
+    )
 
 
 def add_stats_args(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +181,24 @@ def _export_stats(env, sampler, base: str, result: dict) -> None:
     result["stall_timeline"] = format_stall_timeline(
         sampler, env.metrics.events, n_cores=env.cpu.n_cores
     )
+
+
+def _export_critpath(edgelog, tracer, window, base: str, result: dict) -> None:
+    """Extract the critical-path report, write BASE.json, fold into result."""
+    report = critpath_report(edgelog, tracer, window)
+    result["critpath"] = report
+    path = base + ".json"
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+    result["critpath_file"] = path
+
+
+def _critpath_trace_extras(edgelog, tracer, window):
+    """The makespan path rendered for the Chrome exporter (slices + flow)."""
+    backbone = makespan_path(edgelog, tracer, window)
+    if backbone is None:
+        return (), ()
+    return path_trace_extras(backbone, name="makespan")
 
 
 def _trace_path(base: str, name: str, multiple: bool) -> str:
@@ -263,16 +306,22 @@ def run_benchmark(
     args,
     trace_path: Optional[str] = None,
     stats_base: Optional[str] = None,
+    critpath_base: Optional[str] = None,
 ) -> dict:
     env = _make_env(args)
-    tracer = install_tracer(env) if trace_path else None
+    # Path extraction needs the request spans, so --critpath implies a live
+    # tracer even when no trace file was requested.
+    tracer = install_tracer(env) if (trace_path or critpath_base) else None
+    edgelog = install_edgelog(env) if critpath_base else None
     sampler = _install_stats(env, args)
     system = _build_system(env, args)
     if name in NEEDS_PRELOAD:
         preload(env, system, fillrandom(args.num, args.value_size, args.seed), 8)
+    t0 = env.sim.now
     metrics = run_closed_loop(
         env, system, split_stream(_ops_for(name, args), args.threads)
     )
+    window = (t0, t0 + metrics.elapsed)
     _check_sanitizer(env)
     result = {
         "benchmark": name,
@@ -288,10 +337,20 @@ def run_benchmark(
         "simulated_seconds": metrics.elapsed,
     }
     if tracer is not None:
-        result["trace_file"] = write_chrome_trace(tracer, trace_path)
+        if trace_path:
+            extras, flows = (
+                _critpath_trace_extras(edgelog, tracer, window)
+                if edgelog is not None
+                else ((), ())
+            )
+            result["trace_file"] = write_chrome_trace(
+                tracer, trace_path, extra_spans=extras, flows=flows
+            )
         attribution = metrics.extra.get("latency_attribution")
         if attribution is not None:
             result["latency_attribution"] = attribution
+    if edgelog is not None:
+        _export_critpath(edgelog, tracer, window, critpath_base, result)
     if sampler is not None:
         _export_stats(env, sampler, stats_base or "stats", result)
     return result
@@ -313,6 +372,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             else None,
             _trace_path(args.stats_out, name, len(names) > 1)
             if args.stats
+            else None,
+            _trace_path(args.critpath_out, name, len(names) > 1)
+            if args.critpath
             else None,
         )
         for name in names
@@ -359,6 +421,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print("%s latency attribution (paper Figure 6):" % r["benchmark"])
             print(format_attribution(r["latency_attribution"]))
+        if "critpath" in r:
+            print()
+            print(
+                "%s critical-path blame (%d request paths):"
+                % (r["benchmark"], r["critpath"]["n_requests"])
+            )
+            print(format_blame_table(r["critpath"]["blame"]))
+            print("wrote critpath %s" % r["critpath_file"])
         if "trace_file" in r:
             print("wrote trace %s" % r["trace_file"])
         if "stall_timeline" in r:

@@ -17,17 +17,21 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.critpath import install_edgelog
 from repro.harness import preload, run_closed_loop
-from repro.harness.report import format_attribution, format_qps, format_table
+from repro.harness.report import format_attribution, format_blame_table, format_qps, format_table
 from repro.tools.dbbench import (
     DEVICES,
     SYSTEMS,
     _build_system,
     _check_sanitizer,
+    _critpath_trace_extras,
+    _export_critpath,
     _export_stats,
     _install_stats,
     _make_env,
     _trace_path,
+    add_critpath_args,
     add_stats_args,
 )
 from repro.trace import install_tracer, write_chrome_trace
@@ -80,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/TRACING.md)",
     )
     add_stats_args(parser)
+    add_critpath_args(parser)
     return parser
 
 
@@ -88,9 +93,11 @@ def run_workload(
     args,
     trace_path: Optional[str] = None,
     stats_base: Optional[str] = None,
+    critpath_base: Optional[str] = None,
 ) -> dict:
     env = _make_env(args)
-    tracer = install_tracer(env) if trace_path else None
+    tracer = install_tracer(env) if (trace_path or critpath_base) else None
+    edgelog = install_edgelog(env) if critpath_base else None
     sampler = _install_stats(env, args)
     system = _build_system(env, args)
     workload = YCSBWorkload(
@@ -104,7 +111,9 @@ def run_workload(
     streams = [[] for _ in range(args.threads)]
     for i, op in enumerate(ops):
         streams[i % args.threads].append(op)
+    t0 = env.sim.now
     metrics = run_closed_loop(env, system, streams)
+    window = (t0, t0 + metrics.elapsed)
     _check_sanitizer(env)
     result = {
         "workload": name,
@@ -117,10 +126,20 @@ def run_workload(
         "simulated_seconds": metrics.elapsed,
     }
     if tracer is not None:
-        result["trace_file"] = write_chrome_trace(tracer, trace_path)
+        if trace_path:
+            extras, flows = (
+                _critpath_trace_extras(edgelog, tracer, window)
+                if edgelog is not None
+                else ((), ())
+            )
+            result["trace_file"] = write_chrome_trace(
+                tracer, trace_path, extra_spans=extras, flows=flows
+            )
         attribution = metrics.extra.get("latency_attribution")
         if attribution is not None:
             result["latency_attribution"] = attribution
+    if edgelog is not None:
+        _export_critpath(edgelog, tracer, window, critpath_base, result)
     if sampler is not None:
         _export_stats(env, sampler, stats_base or "stats", result)
     return result
@@ -142,6 +161,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             else None,
             _trace_path(args.stats_out, name, len(names) > 1)
             if args.stats
+            else None,
+            _trace_path(args.critpath_out, name, len(names) > 1)
+            if args.critpath
             else None,
         )
         for name in names
@@ -165,6 +187,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print("%s latency attribution (paper Figure 6):" % r["workload"])
             print(format_attribution(r["latency_attribution"]))
+        if "critpath" in r:
+            print()
+            print(
+                "%s critical-path blame (%d request paths):"
+                % (r["workload"], r["critpath"]["n_requests"])
+            )
+            print(format_blame_table(r["critpath"]["blame"]))
+            print("wrote critpath %s" % r["critpath_file"])
         if "trace_file" in r:
             print("wrote trace %s" % r["trace_file"])
         if "stall_timeline" in r:

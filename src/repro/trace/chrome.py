@@ -12,7 +12,11 @@ Trace Event Format understood by Perfetto (https://ui.perfetto.dev) and
   channel;
 * synchronous spans become ``"X"`` complete events, async spans (queue
   residency) become ``"b"``/``"e"`` pairs, zero-width spans become ``"i"``
-  instants.
+  instants;
+* callers may add ``extra_spans`` (e.g. the critical path's blamed segments
+  on a ``critpath:*`` track) and ``flows`` — chains of ``(track, ts)``
+  points rendered as ``"s"``/``"t"``/``"f"`` flow events, which Perfetto
+  draws as arrows connecting the slices the points land in.
 
 The output is a JSON object (``{"traceEvents": [...]}``), the format's
 self-terminating flavor, so it round-trips through ``json.loads``.
@@ -39,9 +43,14 @@ def _track_ids(tracks: List[str]) -> Dict[str, Tuple[int, int]]:
         ids[track] = (pid, tids[pid])
     return ids
 
-def to_chrome_events(tracer) -> List[dict]:
+def to_chrome_events(tracer, extra_spans=(), flows=()) -> List[dict]:
     """Render every recorded span as a Chrome trace-event dict."""
-    ids = _track_ids([span.track for span in tracer.events])
+    extra_spans = list(extra_spans)
+    flows = list(flows)
+    ids = _track_ids(
+        [span.track for span in tracer.events]
+        + [span.track for span in extra_spans]
+    )
     events: List[dict] = []
     # Metadata: name the processes and threads so tracks are readable.
     seen_pids: Dict[int, str] = {}
@@ -67,7 +76,7 @@ def to_chrome_events(tracer) -> List[dict]:
                 "args": {"name": track.split(":", 1)[-1]},
             }
         )
-    for span in tracer.events:
+    for span in list(tracer.events) + extra_spans:
         pid, tid = ids[span.track]
         ts = span.start * TIME_SCALE
         base = {
@@ -90,16 +99,34 @@ def to_chrome_events(tracer) -> List[dict]:
             events.append(
                 dict(base, ph="X", dur=(span.end - span.start) * TIME_SCALE)
             )
+    for flow_id, points in flows:
+        last = len(points) - 1
+        for i, (track, t) in enumerate(points):
+            if track not in ids:
+                continue
+            pid, tid = ids[track]
+            ev = {
+                "ph": "s" if i == 0 else ("f" if i == last else "t"),
+                "name": "critpath",
+                "cat": "critpath",
+                "id": flow_id,
+                "pid": pid,
+                "tid": tid,
+                "ts": t * TIME_SCALE,
+            }
+            if i == last:
+                ev["bp"] = "e"  # bind to the enclosing slice, not the next one
+            events.append(ev)
     return events
 
 
-def write_chrome_trace(tracer, path: str) -> str:
+def write_chrome_trace(tracer, path: str, extra_spans=(), flows=()) -> str:
     """Write the trace as Chrome JSON; returns ``path``.
 
     Load the file in https://ui.perfetto.dev or ``chrome://tracing``.
     """
     payload = {
-        "traceEvents": to_chrome_events(tracer),
+        "traceEvents": to_chrome_events(tracer, extra_spans=extra_spans, flows=flows),
         "displayTimeUnit": "ms",
         "otherData": {
             "source": "repro.trace",

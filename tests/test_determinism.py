@@ -13,8 +13,11 @@ from repro.analysis.perturb import (
     run_perturbed,
 )
 from repro.core import adapter_factory
+from repro.critpath import critpath_report, install_edgelog
 from repro.engine import LSMEngine, make_env, rocksdb_options
 from repro.harness import KVellSystem, P2KVSSystem, open_system, preload, run_closed_loop
+from repro.harness.report import format_blame_table
+from repro.trace import install_tracer
 from repro.metrics import install_stats, timeseries_csv
 from repro.sim.core import Simulator
 from repro.workloads import YCSBWorkload
@@ -59,18 +62,22 @@ def _db_fingerprint(env, system, keys):
     return box[0]
 
 
-def _run_ycsb_a(schedule_seed=None, stats=False):
+def _run_ycsb_a(schedule_seed=None, stats=False, critpath=False):
     """One small YCSB-A run on p2KVS; returns metrics dict + DB digest.
 
     With ``stats=True`` the observability layer is on (per-request perf
     contexts + a fine-grained sampler) and the result also carries the
     sampled time series as CSV text plus the registry counter values.
+    With ``critpath=True`` the wakeup edge log and tracer are on and the
+    result carries the rendered blame table plus the edge-log counters.
     """
     env = make_env(n_cores=8)
     if schedule_seed is not None:
         env.sim.perturb_schedule(schedule_seed)
     if stats:
         install_stats(env, interval_ms=0.05)
+    tracer = install_tracer(env) if critpath else None
+    edgelog = install_edgelog(env) if critpath else None
     system = _open_p2kvs(env)
     workload = YCSBWorkload("A", RECORDS, value_size=112, seed=5)
     preload(env, system, workload.load_ops(), n_threads=THREADS)
@@ -78,16 +85,23 @@ def _run_ycsb_a(schedule_seed=None, stats=False):
     streams = [[] for _ in range(THREADS)]
     for i, op in enumerate(ops):
         streams[i % THREADS].append(op)
+    t0 = env.sim.now
     metrics = run_closed_loop(env, system, streams)
-    keys = sorted({op[1] for op in workload.load_ops()})
     out = {
         "ops": metrics.n_ops,
         "qps": metrics.qps,
         "avg_latency": metrics.avg_latency,
         "p99_latency": metrics.p99_latency,
         "elapsed": metrics.elapsed,
-        "db": _db_fingerprint(env, system, keys),
     }
+    if critpath:
+        # Extract before the fingerprint pass adds unrelated sim activity.
+        report = critpath_report(edgelog, tracer, (t0, t0 + metrics.elapsed))
+        out["blame"] = format_blame_table(report["blame"])
+        out["makespan_blame"] = report["makespan"]["blame"]
+        out["edge_counts"] = report["counts"]
+    keys = sorted({op[1] for op in workload.load_ops()})
+    out["db"] = _db_fingerprint(env, system, keys)
     if stats:
         out["series"] = timeseries_csv(env.metrics.sampler)
         out["counters"] = env.metrics.counter_values()
@@ -202,6 +216,26 @@ def test_sampler_series_stable_under_schedule_perturbation():
     assert fingerprint(_run_ycsb_a(stats=True)) == fingerprint(results[1])
 
 
+def test_critpath_blame_byte_identical_across_reruns():
+    """Satellite acceptance: the blame table and edge-log counters of two
+    identical runs are byte-identical — the walk is fully deterministic."""
+    first = _run_ycsb_a(critpath=True)
+    second = _run_ycsb_a(critpath=True)
+    assert first["blame"] == second["blame"]
+    assert first["edge_counts"] == second["edge_counts"]
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_critpath_blame_stable_under_schedule_perturbation():
+    """Satellite acceptance: --schedule-seed perturbation must not change
+    the extracted blame table or the edge counts."""
+    results = run_perturbed(
+        lambda seed: _run_ycsb_a(schedule_seed=seed, critpath=True), seeds=(1, 2, 3)
+    )
+    assert len({fingerprint(r) for r in results.values()}) == 1
+    assert fingerprint(_run_ycsb_a(critpath=True)) == fingerprint(results[1])
+
+
 def test_stats_on_does_not_perturb_simulation_results():
     """Zero-overhead contract, strong form: turning the observability layer
     ON must not change throughput, latency, or final DB state — sampler
@@ -209,6 +243,24 @@ def test_stats_on_does_not_perturb_simulation_results():
     plain = _run_ycsb_a()
     stats = _run_ycsb_a(stats=True)
     assert {k: stats[k] for k in plain} == plain
+
+
+def test_critpath_on_does_not_perturb_simulation_results():
+    """Zero-overhead contract for the edge log: recording wakeup edges
+    never advances simulated time or touches scheduling state, so results
+    with --critpath on equal the plain run exactly."""
+    plain = _run_ycsb_a()
+    critpath = _run_ycsb_a(critpath=True)
+    assert {k: critpath[k] for k in plain} == plain
+
+
+def test_critpath_does_not_perturb_stats_outputs():
+    """Zero-interference both ways: the sampled series and counters with the
+    edge log installed are byte-identical to stats-only runs."""
+    stats_only = _run_ycsb_a(stats=True)
+    both = _run_ycsb_a(stats=True, critpath=True)
+    assert both["series"] == stats_only["series"]
+    assert both["counters"] == stats_only["counters"]
 
 
 # ---------------------------------------------------------------------------

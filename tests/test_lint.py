@@ -26,6 +26,7 @@ def test_registry_has_required_rules():
         "condvar-wait-loop",
         "yield-in-critical",
         "adhoc-metrics",
+        "unlabeled-wakeup",
     } <= names
     assert len(names) >= 5
 
@@ -293,6 +294,53 @@ def test_adhoc_metrics_line_suppression():
         "h = Histogram()  # lint: disable=adhoc-metrics  (local scratch)\n"
     )
     assert _rules(code, module="repro.core.worker") == []
+
+
+# ---------------------------------------------------------------------------
+# unlabeled-wakeup
+# ---------------------------------------------------------------------------
+
+
+def test_unlabeled_wakeup_hit_on_direct_succeed():
+    diags = _diags(
+        """
+        def release(self):
+            ev = self._waiters.popleft()
+            ev.succeed()
+        """,
+        module="repro.sim.mylock",
+    )
+    assert [d.rule for d in diags] == ["unlabeled-wakeup"]
+    assert "wake(" in diags[0].message
+
+
+def test_unlabeled_wakeup_miss_on_wake_helper():
+    assert _rules(
+        """
+        from repro.sim.wakeup import wake
+
+        def release(self):
+            ev, since = self._waiters.popleft()
+            wake(ev, resource="lock:wal", queued_at=since)
+        """,
+        module="repro.sim.mylock",
+    ) == []
+
+
+def test_unlabeled_wakeup_scoped_to_sim_package():
+    # Engine/harness code completes futures directly; only the kernel's
+    # waiter releases must be edge-labeled.
+    code = "def done(self):\n    self.future.succeed(42)\n"
+    assert _rules(code, module="repro.engine.db") == []
+    assert _rules(code, module="repro.sim.queues2") == ["unlabeled-wakeup"]
+
+
+def test_unlabeled_wakeup_line_suppression():
+    code = (
+        "def fire(ev):\n"
+        "    ev.succeed()  # lint: disable=unlabeled-wakeup  (edge pre-annotated)\n"
+    )
+    assert _rules(code, module="repro.sim.wakeup2") == []
 
 
 # ---------------------------------------------------------------------------

@@ -323,13 +323,36 @@ def test_snapshot_json_round_trips():
 
 def test_prometheus_text_format():
     text = prometheus_text(_populated_registry())
+    assert "# HELP p2kvs_engine_db_0_flushes counter engine.db-0.flushes" in text
     assert "# TYPE p2kvs_engine_db_0_flushes counter" in text
     assert "p2kvs_engine_db_0_flushes 3" in text
     assert "# TYPE p2kvs_obm_queue_depth gauge" in text
-    assert "# TYPE p2kvs_w0_batch summary" in text
-    assert 'p2kvs_w0_batch{quantile="0.99"}' in text
+    assert "# TYPE p2kvs_w0_batch histogram" in text
+    assert 'p2kvs_w0_batch_bucket{le="+Inf"} 1' in text
+    assert "p2kvs_w0_batch_sum " in text
     assert "p2kvs_w0_batch_count 1" in text
     assert text.endswith("\n")
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    from repro.metrics.registry import LogHistogram
+
+    reg = StatsRegistry()
+    hist = reg.histogram("lat")
+    for v in (1e-6, 2e-6, 5e-6, 1e-3):
+        hist.record(v)
+    hist.record(1e12)  # overflow bucket
+    text = prometheus_text(reg)
+    lines = [l for l in text.splitlines() if l.startswith("p2kvs_lat_bucket")]
+    # One line per log-spaced bound, plus +Inf.
+    assert len(lines) == LogHistogram.N_BUCKETS + 1
+    counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+    assert counts == sorted(counts)  # cumulative, monotone
+    assert counts[-2] == 4  # last finite bound: everything but the overflow
+    assert lines[-1] == 'p2kvs_lat_bucket{le="+Inf"} 5'
+    assert "p2kvs_lat_count 5" in text
+    # Byte-stable across repeated exports.
+    assert prometheus_text(reg) == text
 
 
 def test_timeseries_csv_shape():
@@ -412,3 +435,44 @@ def test_scoped_collector_releases_on_exception(env):
     assert getattr(env, "_active_collector", None) is None
     with scoped_collector(env, "sys2") as c2:
         c2.start()  # previous scope must not leak into this one
+
+
+# ---------------------------------------------------------------------------
+# Zero overhead with the edge log off (and on)
+# ---------------------------------------------------------------------------
+
+
+def _stats_outputs(with_edgelog):
+    """Run a small write workload with stats on and return every exporter's
+    output plus the final simulated clock."""
+    from repro.critpath import install_edgelog
+
+    env = make_env(n_cores=4)
+    if with_edgelog:
+        install_edgelog(env)
+    install_stats(env)
+    engine = run_process(env, LSMEngine.open(env, "db", rocksdb_options()))
+
+    def writer():
+        ctx = env.cpu.new_thread("writer")
+        for i in range(200):
+            yield from engine.put(ctx, b"k%07d" % i, b"v" * 100)
+
+    env.sim.spawn(writer(), "w")
+    env.sim.run()
+    return {
+        "now": env.sim.now,
+        "prom": prometheus_text(env.metrics),
+        "json": snapshot_json(env.metrics),
+    }
+
+
+def test_edgelog_does_not_change_metrics_exports():
+    """Installing the critical-path edge log must not move simulated time or
+    any exported metric: recording is pure observation (docs/CRITPATH.md's
+    determinism contract, checked here at the exporter level)."""
+    plain = _stats_outputs(with_edgelog=False)
+    logged = _stats_outputs(with_edgelog=True)
+    assert plain["now"] == logged["now"]
+    assert plain["prom"] == logged["prom"]
+    assert plain["json"] == logged["json"]
