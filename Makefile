@@ -5,8 +5,8 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-regress bench-regress-update lint sanitize \
-	perturb-smoke critpath-smoke ci trace-demo stats-demo critpath-demo \
-	whatif-demo clean
+	perturb-smoke critpath-smoke faults-smoke ci trace-demo stats-demo \
+	critpath-demo whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -54,8 +54,21 @@ critpath-smoke:
 	    --experiments wal-write-0.8x,channels+1 --check \
 	    --out whatif-report.txt --json whatif-report.json
 
+# Fault-injection smoke: the crash/fault campaign must pass every scenario
+# with zero oracle violations, and the report must be byte-identical across
+# two runs with the same --fault-seed.  Writes faults-report.json (kept for
+# the CI artifact).  See docs/FAULTS.md.
+faults-smoke:
+	@$(PY) -m repro.tools.faultbench --fault-seed 7 --out faults-report.json
+	@$(PY) -m repro.tools.faultbench --fault-seed 7 --out .faults-rerun.json \
+	    > /dev/null
+	@cmp faults-report.json .faults-rerun.json \
+	    && echo "faults-smoke: byte-identical report across 2 runs" \
+	    || (echo "faults-smoke: reports differ across reruns" >&2; exit 1)
+	@rm -f .faults-rerun.json
+
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint test perturb-smoke critpath-smoke bench-regress
+ci: lint test perturb-smoke critpath-smoke faults-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -92,4 +105,5 @@ clean:
 	rm -f BENCH_p2kvs.json stats-demo.json stats-demo.prom stats-demo.csv
 	rm -f critpath-demo.json critpath-demo-trace.json
 	rm -f whatif-report.txt whatif-report.json
+	rm -f faults-report.json .faults-rerun.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

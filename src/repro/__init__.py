@@ -30,24 +30,44 @@ from repro.engine import (
     pebblesdb_options,
     rocksdb_options,
 )
+from repro.errors import (
+    NOT_FOUND,
+    Corruption,
+    IOFailure,
+    KVError,
+    KVStatus,
+    Stalled,
+    TimedOut,
+)
+from repro.systems import open_system, register_system, system_names
 from repro.trace import install_tracer, uninstall_tracer, write_chrome_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Corruption",
     "HashRouter",
+    "IOFailure",
+    "KVError",
+    "KVStatus",
     "KVellLike",
     "LSMEngine",
+    "NOT_FOUND",
     "P2KVS",
     "RangeRouter",
+    "Stalled",
+    "TimedOut",
     "WiredTigerLike",
     "WriteBatch",
     "adapter_factory",
     "install_tracer",
     "leveldb_options",
     "make_env",
+    "open_system",
     "pebblesdb_options",
+    "register_system",
     "rocksdb_options",
+    "system_names",
     "uninstall_tracer",
     "wiredtiger_adapter_factory",
     "write_chrome_trace",

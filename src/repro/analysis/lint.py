@@ -540,6 +540,50 @@ class UnlabeledWakeupRule(LintRule):
                 )
 
 
+@register
+class BareExceptInWorkerRule(LintRule):
+    """The accessing layer degrades through *typed* errors: workers catch
+    ``KVError`` and poison the failed requests.  A blanket ``except`` (or
+    ``except Exception``) would also swallow ``CrashTriggered`` and kernel
+    programming errors, turning a simulated power loss into a worker that
+    silently keeps serving — see docs/FAULTS.md."""
+
+    name = "bare-except-in-worker"
+    description = (
+        "no bare except / except Exception / except BaseException in "
+        "repro.core — catch KVError (or narrower) so crashes and bugs "
+        "propagate"
+    )
+    scopes = ("repro.core",)
+
+    BLANKET = {"Exception", "BaseException"}
+
+    def _blanket_name(self, expr: Optional[ast.AST]) -> Optional[str]:
+        if expr is None:
+            return "bare except:"
+        if isinstance(expr, ast.Name) and expr.id in self.BLANKET:
+            return "except %s" % expr.id
+        if isinstance(expr, ast.Tuple):
+            for element in expr.elts:
+                if isinstance(element, ast.Name) and element.id in self.BLANKET:
+                    return "except (... %s ...)" % element.id
+        return None
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            blanket = self._blanket_name(node.type)
+            if blanket is not None:
+                yield self.diag(
+                    module,
+                    node,
+                    "%s swallows CrashTriggered and kernel bugs along with "
+                    "IO errors; catch KVError (or narrower) and let "
+                    "everything else propagate" % blanket,
+                )
+
+
 # ---------------------------------------------------------------------------
 # runners
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ work across foreground and background threads.
 from typing import Dict, Generator, List, Tuple
 
 from repro.engine.env import Env
+from repro.errors import KVError, KVStatus
 from repro.sim.queues import FIFOQueue
 from repro.sim.stats import Counter, Histogram
 from repro.storage.block_cache import BlockCache
@@ -129,15 +130,21 @@ class KVellLike:
 
     def put(self, ctx, key: bytes, value: bytes) -> Generator:
         request = _Request("put", key=key, value=value)
-        return (yield from self._submit(ctx, request, self._route(key)))
+        status = yield from self._submit(ctx, request, self._route(key))
+        status.raise_for_error()
 
     def delete(self, ctx, key: bytes) -> Generator:
         request = _Request("delete", key=key)
+        status = yield from self._submit(ctx, request, self._route(key))
+        status.raise_for_error()
+
+    def get_status(self, ctx, key: bytes) -> Generator:
+        request = _Request("get", key=key)
         return (yield from self._submit(ctx, request, self._route(key)))
 
     def get(self, ctx, key: bytes) -> Generator:
-        request = _Request("get", key=key)
-        return (yield from self._submit(ctx, request, self._route(key)))
+        status = yield from self.get_status(ctx, key)
+        return status.value_or(None)
 
     def scan(self, ctx, begin: bytes, count: int) -> Generator:
         futures = []
@@ -147,10 +154,11 @@ class KVellLike:
             request.future = self.env.sim.event()
             self.queues[worker_id].put(request)
             futures.append(request.future)
-        results = yield self.env.sim.all_of(futures)
+        statuses = yield self.env.sim.all_of(futures)
+        parts = [status.value_or([]) for status in statuses]
         import heapq
 
-        merged = list(heapq.merge(*results, key=lambda kv: kv[0]))
+        merged = list(heapq.merge(*parts, key=lambda kv: kv[0]))
         return merged[:count]
 
     def range_query(self, ctx, begin: bytes, end: bytes) -> Generator:
@@ -164,10 +172,11 @@ class KVellLike:
             request.future = self.env.sim.event()
             self.queues[worker_id].put(request)
             futures.append(request.future)
-        results = yield self.env.sim.all_of(futures)
+        statuses = yield self.env.sim.all_of(futures)
+        parts = [status.value_or([]) for status in statuses]
         import heapq
 
-        return list(heapq.merge(*results, key=lambda kv: kv[0]))
+        return list(heapq.merge(*parts, key=lambda kv: kv[0]))
 
     def close(self) -> Generator:
         for queue in self.queues:
@@ -192,7 +201,19 @@ class KVellLike:
                     break
                 batch.append(queue.try_pop())
             self.batch_sizes.record(len(batch))
-            yield from self._process_batch(ctx, partition, batch)
+            try:
+                yield from self._process_batch(ctx, partition, batch)
+            except KVError as exc:
+                # Degradation: a typed device error fails this batch's
+                # requests, never the worker loop.  No retry — the slab
+                # writes are in-place, so re-running the batch could
+                # double-apply updates that already hit the device.
+                status = KVStatus.from_error(exc)
+                self.counters.add("poisoned_batches")
+                for request in batch:
+                    future = request.future
+                    if future is not None and not future.triggered:
+                        future.succeed(status)
 
     def _process_batch(self, ctx, partition: _Partition, batch: List[_Request]) -> Generator:
         """KVell's cycle: index work first, then one async IO burst."""
@@ -217,7 +238,7 @@ class KVellLike:
                 self.counters.add(
                     "user_bytes_written", len(request.key) + len(request.value)
                 )
-                completions.append((request, None))
+                completions.append((request, KVStatus.ok(None)))
             elif request.op == "delete":
                 yield self.env.cpu.exec(ctx, INDEX_INSERT_CPU, "index")
                 existing = partition.index.get(request.key)
@@ -226,17 +247,17 @@ class KVellLike:
                     partition.pages.get(existing[0], {}).pop(request.key, None)
                     page_key = (partition.worker_id, existing[0])
                     dirty_pages[page_key] = dirty_pages.get(page_key, 0) + 1
-                completions.append((request, None))
+                completions.append((request, KVStatus.ok(None)))
             elif request.op == "get":
                 yield self.env.cpu.exec(ctx, INDEX_SEARCH_CPU, "read")
                 entry = partition.index.get(request.key)
                 if entry is None:
-                    completions.append((request, None))
+                    completions.append((request, KVStatus.not_found()))
                 else:
                     page_key = (partition.worker_id, entry[0])
                     if self.page_cache.get(page_key) is None:
                         read_pages.add(page_key)
-                    completions.append((request, entry[1]))
+                    completions.append((request, KVStatus.ok(entry[1])))
                 self.counters.add("reads")
             else:  # scan / range
                 scans.append(request)
@@ -269,8 +290,8 @@ class KVellLike:
             self.env.disk.put_blob(blob, contents, PAGE_SIZE)
             self.env.disk.commit_blob(blob)
 
-        for request, result in completions:
-            request.future.succeed(result)
+        for request, status in completions:
+            request.future.succeed(status)
         for request in scans:
             yield from self._scan_one(ctx, partition, request)
 
@@ -300,7 +321,7 @@ class KVellLike:
         if ios:
             yield self.env.sim.all_of(ios)
         self.counters.add("scans")
-        request.future.succeed(out)
+        request.future.succeed(KVStatus.ok(out))
 
     # -- durability ---------------------------------------------------------------
 

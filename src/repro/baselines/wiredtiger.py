@@ -18,6 +18,7 @@ from typing import Generator, List, Tuple
 
 from repro.engine.batch import WriteBatch
 from repro.engine.env import Env
+from repro.errors import KVStatus
 from repro.sim.stats import Counter
 from repro.sim.sync import Lock
 from repro.storage.block_cache import BlockCache
@@ -89,13 +90,19 @@ class WiredTigerLike:
                 self.tree.insert(key, value)
         vfile = self.env.disk.open_file("%s/wt-wal" % self.name)
         data = yield from vfile.read_all(category="recovery")
-        for record in LogReader(data):
+        # A torn tail is an interrupted append — expected after a crash and
+        # counted; mid-log CRC damage raises Corruption out of the reader.
+        reader = LogReader(data, source=vfile.path)
+        for record in reader:
             batch = WriteBatch.decode(record.payload)
             for vtype, key, value in batch:
                 if vtype == VTYPE_DELETE:
                     self.tree.delete(key)
                 else:
                     self.tree.insert(key, value)
+        if reader.truncated:
+            self.counters.add("recovery_torn_tails")
+            self.counters.add("recovery_torn_bytes", reader.tail_bytes)
 
     def close(self) -> Generator:
         self.closing = True
@@ -177,6 +184,14 @@ class WiredTigerLike:
         self.counters.add("reads")
         return value
 
+    def get_status(self, ctx, key: bytes) -> Generator:
+        """Status-style lookup: the tree stores real bytes, so ``None``
+        means the key is absent, never a stored null."""
+        value = yield from self.get(ctx, key)
+        if value is None:
+            return KVStatus.not_found()
+        return KVStatus.ok(value)
+
     def multiget(self, ctx, keys: List[bytes]) -> Generator:
         sim = self.env.sim
 
@@ -254,11 +269,29 @@ class WiredTigerAdapter:
     def get(self, ctx, key, snapshot_seq=None):
         return self.store.get(ctx, key)
 
+    def get_status(self, ctx, key, snapshot_seq=None):
+        return self.store.get_status(ctx, key)
+
     def multiget(self, ctx, keys, snapshot_seq=None):
         return self.store.multiget(ctx, keys)
 
+    def multiget_status(self, ctx, keys, snapshot_seq=None):
+        return self.concurrent_gets(ctx, keys, snapshot_seq)
+
     def concurrent_gets(self, ctx, keys, snapshot_seq=None):
-        return self.store.multiget(ctx, keys)
+        """OBM read fallback (no native multiget): each lookup runs as its
+        own process so the page reads overlap.  Returns statuses."""
+        sim = self.env.sim
+
+        def one(key):
+            return (yield from self.store.get_status(ctx, key))
+
+        def gather():
+            procs = [sim.spawn(one(key)) for key in keys]
+            statuses = yield sim.all_of(procs)
+            return statuses
+
+        return gather()
 
     def scan(self, ctx, begin, count):
         return self.store.scan(ctx, begin, count)

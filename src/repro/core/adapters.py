@@ -55,28 +55,43 @@ class EngineAdapter:
             return (yield from self.engine.get(ctx, key))
         return (yield from self.engine.get(ctx, key, snapshot_seq))
 
+    def get_status(
+        self, ctx, key: bytes, snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        """Status-style lookup: ``ok(value)`` / ``not_found``, never an
+        ambiguous None.  The workers' read path uses this form."""
+        if snapshot_seq is None:
+            return (yield from self.engine.get_status(ctx, key))
+        return (yield from self.engine.get_status(ctx, key, snapshot_seq))
+
     def multiget(
+        self, ctx, keys: List[bytes], snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        statuses = yield from self.multiget_status(ctx, keys, snapshot_seq)
+        return [status.value_or(None) for status in statuses]
+
+    def multiget_status(
         self, ctx, keys: List[bytes], snapshot_seq: Optional[int] = None
     ) -> Generator:
         if self.supports_multiget:
             if snapshot_seq is None:
-                return (yield from self.engine.multiget(ctx, keys))
-            return (yield from self.engine.multiget(ctx, keys, snapshot_seq))
+                return (yield from self.engine.multiget_status(ctx, keys))
+            return (yield from self.engine.multiget_status(ctx, keys, snapshot_seq))
         return (yield from self.concurrent_gets(ctx, keys, snapshot_seq))
 
     def concurrent_gets(
         self, ctx, keys: List[bytes], snapshot_seq: Optional[int] = None
     ) -> Generator:
         """OBM read fallback: submit each get as its own process so device
-        reads overlap, even without a native multiget."""
+        reads overlap, even without a native multiget.  Returns statuses."""
         sim = self.env.sim
 
         def one(key):
-            return (yield from self.get(ctx, key, snapshot_seq))
+            return (yield from self.get_status(ctx, key, snapshot_seq))
 
         procs = [sim.spawn(one(key)) for key in keys]
-        values = yield sim.all_of(procs)
-        return values
+        statuses = yield sim.all_of(procs)
+        return statuses
 
     # -- snapshots (read-committed isolation, Section 4.5 future work) -----
 

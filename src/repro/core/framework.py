@@ -36,6 +36,7 @@ from repro.core.txn import GsnManager, TransactionLog
 from repro.core.worker import Worker
 from repro.engine.batch import WriteBatch
 from repro.engine.env import Env
+from repro.errors import KVStatus
 from repro.metrics.perf_context import PerfContext
 from repro.storage.wal import RECORD_STANDALONE, RECORD_TXN
 
@@ -200,7 +201,11 @@ class P2KVS:
         self.workers[worker_id].submit(request)
 
     def _fork_to_all(self, ctx, make_request) -> Generator:
-        """Enqueue one sub-request per worker; gather results in worker order."""
+        """Enqueue one sub-request per worker; gather results in worker order.
+
+        Futures carry statuses; a failed fragment raises its typed error
+        after the gather (never mid-gather — all_of fails fast on event
+        failure, which is exactly why futures never ``fail``)."""
         yield self.env.cpu.exec(ctx, SUBMIT_COST * len(self.workers), "submit")
         futures = []
         for worker in self.workers:
@@ -209,8 +214,15 @@ class P2KVS:
             worker.submit(request)
             futures.append(request.future)
         waited_since = self.env.sim.now
-        results = yield self.env.sim.all_of(futures)
+        statuses = yield self.env.sim.all_of(futures)
         ctx.account_wait("request_wait", self.env.sim.now - waited_since)
+        results = []
+        for status in statuses:
+            if isinstance(status, KVStatus):
+                status.raise_for_error()
+                results.append(status.value)
+            else:
+                results.append(status)
         return results
 
     # ------------------------------------------------------------------
@@ -220,7 +232,10 @@ class P2KVS:
     def put(self, ctx, key: bytes, value: bytes) -> Generator:
         gsn = self.gsn.allocate()
         request = Request(OP_PUT, key=key, value=value, gsn=gsn)
-        yield from self._submit_and_wait(ctx, request, self.router.route(key))
+        status = yield from self._submit_and_wait(
+            ctx, request, self.router.route(key)
+        )
+        status.raise_for_error()
 
     #: UPDATE is a PUT to an existing key (paper Table 1's UPDATE/RMW mix).
     update = put
@@ -228,13 +243,22 @@ class P2KVS:
     def delete(self, ctx, key: bytes) -> Generator:
         gsn = self.gsn.allocate()
         request = Request(OP_DELETE, key=key, gsn=gsn)
-        yield from self._submit_and_wait(ctx, request, self.router.route(key))
+        status = yield from self._submit_and_wait(
+            ctx, request, self.router.route(key)
+        )
+        status.raise_for_error()
 
-    def get(self, ctx, key: bytes) -> Generator:
+    def get_status(self, ctx, key: bytes) -> Generator:
+        """Point lookup with the full status: ok / not_found / error."""
         request = Request(OP_GET, key=key)
         return (
             yield from self._submit_and_wait(ctx, request, self.router.route(key))
         )
+
+    def get(self, ctx, key: bytes) -> Generator:
+        """Point-lookup sugar: value bytes or None; raises on typed errors."""
+        status = yield from self.get_status(ctx, key)
+        return status.value_or(None)
 
     def put_async(
         self, ctx, key: bytes, value: bytes, callback: Optional[Callable] = None
@@ -303,7 +327,8 @@ class P2KVS:
                 request = Request(
                     OP_WRITEBATCH, batch=sub, gsn=gsn, rtype=RECORD_STANDALONE
                 )
-                yield from self._submit_and_wait(ctx, request, worker_id)
+                status = yield from self._submit_and_wait(ctx, request, worker_id)
+                status.raise_for_error()
             return
         yield from self.txn_log.log_begin(gsn)
         yield self.env.cpu.exec(ctx, SUBMIT_COST * len(by_worker), "submit")
@@ -320,10 +345,23 @@ class P2KVS:
             request.future = self.env.sim.event()
             self.workers[worker_id].submit(request)
             futures.append(request.future)
-        yield self.env.sim.all_of(futures)
-        yield from self.txn_log.log_commit(gsn)
+        statuses = yield self.env.sim.all_of(futures)
+        failed = [
+            status.error
+            for status in statuses
+            if isinstance(status, KVStatus) and status.is_error
+        ]
+        if not failed:
+            # Statuses are checked BEFORE the COMMIT record: a failed
+            # fragment must leave the transaction uncommitted, so recovery
+            # discards every one of its TXN records (all-or-nothing).
+            faults = self.env.faults
+            if faults is not None:
+                faults.crash_site("txn-commit")
+            yield from self.txn_log.log_commit(gsn)
         if snapshot_isolated:
-            # Make the updates visible: release every pre-txn snapshot.
+            # Release every pre-txn snapshot — on the failure path too, or
+            # the workers' reads would be pinned at the old snapshot forever.
             release_futures = []
             for worker_id in by_worker:
                 release = Request(OP_TXN_RELEASE, gsn=gsn, no_merge=True)
@@ -331,6 +369,8 @@ class P2KVS:
                 self.workers[worker_id].submit(release)
                 release_futures.append(release.future)
             yield self.env.sim.all_of(release_futures)
+        if failed:
+            raise failed[0]
 
     # ------------------------------------------------------------------
     # Runtime scaling (Section 4.2 future work)

@@ -72,6 +72,7 @@ class Request:
         "trace",
         "trace_queue",
         "perf",
+        "completed",
     )
 
     def __init__(
@@ -106,6 +107,7 @@ class Request:
         self.trace = None  # end-to-end request span, when tracing
         self.trace_queue = None  # queue-residency span, when tracing
         self.perf = None  # PerfContext, when env.metrics.perf_enabled
+        self.completed = False  # set by the worker; poison paths skip done requests
 
     @property
     def merge_class(self) -> str:

@@ -12,6 +12,7 @@ the paper's Figure 11 example describes.
 import struct
 from typing import Generator, Set, Tuple
 
+from repro.faults.retry import retry_io
 from repro.storage.wal import LogReader, LogWriter
 
 __all__ = ["GsnManager", "TransactionLog"]
@@ -31,17 +32,26 @@ class TransactionLog:
 
     def log_begin(self, gsn: int) -> Generator:
         self.writer.append(_REC.pack(KIND_BEGIN, gsn))
-        yield from self.writer.flush(category="txnlog")
+        # Re-flushing the same pending bytes is idempotent, so transient
+        # device errors get the standard bounded retry.
+        yield from retry_io(
+            self.env, lambda: self.writer.flush(category="txnlog"), site="txnlog"
+        )
 
     def log_commit(self, gsn: int) -> Generator:
         self.writer.append(_REC.pack(KIND_COMMIT, gsn))
-        yield from self.writer.flush(category="txnlog")
+        yield from retry_io(
+            self.env, lambda: self.writer.flush(category="txnlog"), site="txnlog"
+        )
 
     def recover(self) -> Tuple[Set[int], int]:
         """Parse the durable log: (committed GSNs, max GSN seen)."""
         committed: Set[int] = set()
         max_gsn = 0
-        for record in LogReader(self.vfile.durable_content()):
+        # A torn tail here is an interrupted BEGIN/COMMIT append: the reader
+        # stops cleanly and the unfinished record's transaction stays
+        # uncommitted (rolled back by the WAL filter).
+        for record in LogReader(self.vfile.durable_content(), source=self.vfile.path):
             kind, gsn = _REC.unpack(record.payload)
             max_gsn = max(max_gsn, gsn)
             if kind == KIND_COMMIT:

@@ -20,6 +20,7 @@ from repro.core.requests import (
     WRITE_CLASS,
 )
 from repro.engine.batch import WriteBatch
+from repro.errors import KVError, KVStatus
 from repro.metrics.perf_context import PerfContext
 from repro.sim.queues import FIFOQueue
 
@@ -27,6 +28,10 @@ __all__ = ["Worker"]
 
 #: worker-side CPU cost to dequeue + classify one batch.
 DISPATCH_COST = 0.2e-6
+
+#: base backoff before re-dispatching an idempotent batch after a
+#: retryable error (doubles per attempt).
+RETRY_BACKOFF = 50e-6
 
 
 class Worker:
@@ -131,11 +136,71 @@ class Worker:
                     self.ctx.track,
                     args={"batch": len(batch), "op": batch[0].op},
                 )
-            yield from self._execute(batch)
+            yield from self._run_batch(batch)
             if batch_perf is not None:
                 self.ctx.perf = None
             if span is not None:
                 span.finish()
+
+    #: bounded re-dispatches of an idempotent batch before poisoning it.
+    MAX_BATCH_RETRIES = 2
+
+    def _run_batch(self, batch: List[Request]) -> Generator:
+        """Execute with degradation: a typed error fails *requests*, never
+        the worker loop.  Read-class batches (no side effects, no member
+        completed before the error) get a bounded retry with backoff;
+        write-class errors poison only the still-pending members — a WAL
+        append is not idempotent, so a whole-batch rewrite could double
+        writes that already completed."""
+        attempts = 0
+        while True:
+            try:
+                yield from self._execute(batch)
+                return
+            except KVError as exc:
+                retryable = (
+                    exc.retryable
+                    and batch[0].merge_class != WRITE_CLASS
+                    and attempts < self.MAX_BATCH_RETRIES
+                )
+                if not retryable:
+                    self._poison(batch, exc)
+                    return
+                attempts += 1
+                self.counters.add("request_retries")
+                if self.ctx.perf is not None:
+                    self.ctx.perf.add("request_retries")
+                tracer = self.env.sim.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "retry:%s" % batch[0].op,
+                        "worker",
+                        self.ctx.track,
+                        args={"error": exc.code, "attempt": attempts},
+                    )
+                yield self.env.sim.timeout(RETRY_BACKOFF * (1 << (attempts - 1)))
+
+    def _poison(self, batch: List[Request], exc: KVError) -> None:
+        """Fail this batch's pending requests with an error status."""
+        status = KVStatus.from_error(exc)
+        poisoned = 0
+        for request in batch:
+            if request.completed:
+                continue
+            poisoned += 1
+            self._complete(request, status)
+        if poisoned:
+            self.counters.add("poisoned_requests", poisoned)
+            if self.ctx.perf is not None:
+                self.ctx.perf.add("poisoned_requests", poisoned)
+            tracer = self.env.sim.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "poisoned:%s" % batch[0].op,
+                    "worker",
+                    self.ctx.track,
+                    args={"error": exc.code, "requests": poisoned},
+                )
 
     def _execute(self, batch: List[Request]) -> Generator:
         merge_class = batch[0].merge_class
@@ -202,15 +267,17 @@ class Worker:
     def _execute_reads(self, batch: List[Request]) -> Generator:
         snapshot = self._read_snapshot()
         if len(batch) == 1:
-            value = yield from self.adapter.get(self.ctx, batch[0].key, snapshot)
-            self._complete(batch[0], value)
+            status = yield from self.adapter.get_status(
+                self.ctx, batch[0].key, snapshot
+            )
+            self._complete(batch[0], status)
             return
         self.counters.add("obm_read_batches")
         self.counters.add("obm_read_merged", len(batch))
         keys = [request.key for request in batch]
-        values = yield from self.adapter.multiget(self.ctx, keys, snapshot)
-        for request, value in zip(batch, values):
-            self._complete(request, value)
+        statuses = yield from self.adapter.multiget_status(self.ctx, keys, snapshot)
+        for request, status in zip(batch, statuses):
+            self._complete(request, status)
 
     def _execute_scan(self, request: Request) -> Generator:
         if request.op == OP_SCAN:
@@ -224,10 +291,15 @@ class Worker:
         self._complete(request, result)
 
     def _complete(self, request: Request, result) -> None:
+        # Every future carries a KVStatus — uniformly, so gathers (all_of)
+        # collect per-request outcomes instead of failing fast.
+        if not isinstance(result, KVStatus):
+            result = KVStatus.ok(result)
         # Merge the batch's accumulated perf into the request *before* the
         # future/callback fires, so span attachment sees the final counts.
         if request.perf is not None and self.ctx.perf is not None:
             request.perf.merge(self.ctx.perf)
+        request.completed = True
         if request.future is not None:
             request.future.succeed(result)
         if request.callback is not None:

@@ -15,7 +15,7 @@ real; timing comes from the cost model in :mod:`repro.engine.costs` charged
 against the shared CPU/device models.
 """
 
-from typing import Callable, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.engine.batch import WriteBatch
 from repro.engine.compaction import (
@@ -29,6 +29,8 @@ from repro.engine.iterator import LevelCursor, MemTableCursor, MergingIterator
 from repro.engine.options import EngineOptions
 from repro.engine.version import FileMeta, VersionEdit, VersionSet
 from repro.engine.write_group import WriteGroupCoordinator
+from repro.errors import Corruption, IOFailure, KVStatus, Stalled, TimedOut
+from repro.faults.retry import retry_io
 from repro.sim.sync import Condition, Lock
 from repro.storage.block_cache import BlockCache
 from repro.storage.memtable import FOUND, MemTable, NOT_FOUND
@@ -75,8 +77,16 @@ class LSMEngine:
         self.memtable = MemTable(
             seed=_name_seed(name), sim=env.sim, track="memtable:%s" % name
         )
-        self.immutables: List[Tuple[MemTable, int]] = []  # (memtable, log number)
+        self.immutables: List[Tuple[MemTable, int]] = []  # (memtable, min WAL)
         self.log_file_number = 0
+        #: oldest WAL that may hold entries of the *active* memtable.  Under
+        #: pipelined writes a group's WAL records can land in segment N while
+        #: its memtable inserts run after a switch created segment N+1, so
+        #: the active memtable's data can predate its own WAL.
+        self.memtable_min_log = 0
+        #: WAL number -> count of groups logged there whose memtable inserts
+        #: have not landed yet; those segments must outlive the window.
+        self._wal_pins: Dict[int, int] = {}
         self.log_writer: Optional[LogWriter] = None
         self.coordinator = WriteGroupCoordinator(self)
         self.compacting = set()  # file numbers being compacted
@@ -152,6 +162,9 @@ class LSMEngine:
         self.log_file_number = self.versions.new_file_number()
         vfile = self.env.disk.open_file(self._wal_path(self.log_file_number))
         self.log_writer = LogWriter(vfile)
+        # A fresh WAL always accompanies a fresh (or just-replayed) memtable:
+        # until a pipelined group says otherwise, nothing in it predates it.
+        self.memtable_min_log = self.log_file_number
 
     def _recover(self, record_filter: Optional[RecordFilter]) -> Generator:
         yield from self.versions.recover()
@@ -172,14 +185,28 @@ class LSMEngine:
                 self.env.disk.delete_file(path)
                 continue
             data = yield from self.env.disk.open_file(path).read_all("recovery")
-            for record in LogReader(data):
-                if record_filter is not None and not record_filter(
-                    record.rtype, record.gsn
-                ):
-                    continue
-                batch = WriteBatch.decode(record.payload)
-                seqs = self.allocate_seqs(len(batch))
-                self.apply_to_memtable(batch, seqs)
+            reader = LogReader(data, source=path)
+            try:
+                for record in reader:
+                    if record_filter is not None and not record_filter(
+                        record.rtype, record.gsn
+                    ):
+                        continue
+                    batch = WriteBatch.decode(record.payload)
+                    seqs = self.allocate_seqs(len(batch))
+                    self.apply_to_memtable(batch, seqs)
+            except Corruption:
+                # Mid-log corruption is not a crash artifact — refuse to
+                # open rather than silently drop acknowledged writes.
+                self.counters.add("recovery_corruption")
+                raise
+            if reader.records_read:
+                self.counters.add("recovery_records", reader.records_read)
+            if reader.truncated:
+                # Expected crash signature: the unsynced (or torn) suffix
+                # died with the page cache.  Count it and move on.
+                self.counters.add("recovery_torn_tails")
+                self.counters.add("recovery_torn_bytes", reader.tail_bytes)
             self.env.disk.delete_file(path)
         self.visible_seq = self.seq  # everything replayed is visible
         self._new_wal()
@@ -208,7 +235,11 @@ class LSMEngine:
         """Flush the WAL tail and stop background threads."""
         self.closing = True
         if self.log_writer is not None:
-            yield from self.log_writer.flush("wal")
+            writer = self.log_writer
+            yield from retry_io(
+                self.env, lambda: writer.flush("wal"), site="close",
+                counters=self.counters,
+            )
         self.flush_cond.notify_all()
         self.compact_cond.notify_all()
         self.stall_cond.notify_all()
@@ -253,6 +284,9 @@ class LSMEngine:
             self.publish_cond.notify_all()
 
     def log_append(self, payload: bytes, rtype: int, gsn: int, perf=None) -> None:
+        faults = self.env.faults
+        if faults is not None:
+            faults.crash_site("wal-append")
         monitor = self.env.sim.monitor
         if monitor is not None:
             # The WAL writer's buffer is exclusive to the current leader.
@@ -264,11 +298,44 @@ class LSMEngine:
             perf.add("wal_bytes", len(payload))
         self.log_writer.append(payload, rtype, gsn)
 
-    def maybe_flush_wal(self, ctx) -> Generator:
+    def pin_wal(self, number: int) -> None:
+        """A write group logged its records in WAL ``number`` but has not yet
+        applied them to a memtable: keep the segment from being obsoleted by
+        a concurrent flush install until :meth:`unpin_wal`.  A group killed by
+        exhausted IO retries leaks its pin — conservative: an extra WAL
+        survives, never the reverse."""
+        self._wal_pins[number] = self._wal_pins.get(number, 0) + 1
+
+    def unpin_wal(self, number: int) -> None:
+        count = self._wal_pins.get(number, 0) - 1
+        if count <= 0:
+            self._wal_pins.pop(number, None)
+        else:
+            self._wal_pins[number] = count
+
+    def note_wal_dependency(self, number: int) -> None:
+        """Record that the active memtable now holds an entry logged in WAL
+        ``number`` (older than the memtable itself under pipelined writes)."""
+        if number < self.memtable_min_log:
+            self.memtable_min_log = number
+
+    def maybe_flush_wal(self, ctx, writer: Optional[LogWriter] = None) -> Generator:
+        # The caller passes the writer it appended to: the active log can
+        # rotate between a group's append and its flush (pipelined writes),
+        # and flushing the *new* segment would leave the group's own records
+        # buffered — acknowledged but not durable.
+        if writer is None:
+            writer = self.log_writer
         opts = self.options
-        if opts.sync_wal or self.log_writer.pending_bytes >= opts.wal_flush_bytes:
+        if opts.sync_wal or writer.pending_bytes >= opts.wal_flush_bytes:
+            faults = self.env.faults
+            if faults is not None:
+                faults.crash_site("wal-flush", torn_file=writer.vfile)
             waited_since = self.env.sim.now
-            yield from self.log_writer.flush("wal")
+            yield from retry_io(
+                self.env, lambda: writer.flush("wal"), site="wal-flush",
+                counters=self.counters, perf=ctx.perf,
+            )
             ctx.account_wait("wal", self.env.sim.now - waited_since)
 
     def apply_to_memtable(self, batch: WriteBatch, seqs) -> None:
@@ -330,7 +397,22 @@ class LSMEngine:
         token = events.begin(
             "write_stall", self.env.sim.now, engine=self.name, reason=reason
         )
-        yield self.stall_cond.wait(ctx, "stall")  # lint: disable=condvar-wait-loop  (caller's while re-checks)
+        timeout = self.options.stall_timeout
+        wait_ev = self.stall_cond.wait(ctx, "stall")  # lint: disable=condvar-wait-loop  (caller's while re-checks)
+        if timeout is None:
+            yield wait_ev
+        else:
+            which, _value = yield self.env.sim.any_of(
+                [wait_ev, self.env.sim.timeout(timeout)]
+            )
+            if which == 1:
+                events.end(token, self.env.sim.now)
+                self._stall_depth -= 1
+                self.counters.add("stall_timeouts")
+                raise Stalled(
+                    "write stalled on %s for %.3fs" % (reason, timeout),
+                    site="%s:%s" % (self.name, reason),
+                )
         events.end(token, self.env.sim.now)
         self._stall_depth -= 1
 
@@ -352,7 +434,12 @@ class LSMEngine:
     def _switch_memtable(self) -> None:
         if self.memtable.empty:
             return
-        self.immutables.append((self.memtable, self.log_file_number))
+        faults = self.env.faults
+        if faults is not None:
+            faults.crash_site("memtable-switch")
+        # Pair the retiring memtable with the oldest WAL that may hold its
+        # entries (not merely the segment active right now).
+        self.immutables.append((self.memtable, self.memtable_min_log))
         self.memtable = MemTable(
             seed=self.versions.next_file_number & 0xFFFF,
             sim=self.env.sim,
@@ -472,8 +559,12 @@ class LSMEngine:
                     return state, value
         return NOT_FOUND, None
 
-    def get(self, ctx, key: bytes, snapshot_seq: Optional[int] = None) -> Generator:
-        """Point lookup; returns the value bytes or None.
+    def get_status(
+        self, ctx, key: bytes, snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        """Point lookup with an unambiguous outcome: ``ok(value)`` or
+        ``not_found`` — deletions and never-written keys both report
+        NOT_FOUND explicitly instead of a ``None`` that could mean either.
 
         Reads at the last *published* sequence by default, so concurrent
         WriteBatches are observed atomically or not at all.
@@ -492,12 +583,21 @@ class LSMEngine:
         state, value = self._memory_lookup(key, snapshot_seq)
         if state == NOT_FOUND:
             state, value = yield from self._table_lookup(ctx, key, snapshot_seq)
-        return value if state == FOUND else None
+        if state == FOUND:
+            return KVStatus.ok(value)
+        return KVStatus.not_found()
 
-    def multiget(
+    def get(self, ctx, key: bytes, snapshot_seq: Optional[int] = None) -> Generator:
+        """Point-lookup sugar: the value bytes, or None if not found.
+        Typed errors (device IO, corruption) raise as ``KVError``s."""
+        status = yield from self.get_status(ctx, key, snapshot_seq)
+        return status.value_or(None)
+
+    def multiget_status(
         self, ctx, keys: List[bytes], snapshot_seq: Optional[int] = None
     ) -> Generator:
-        """Batched point lookups with internally parallel table IO.
+        """Batched point lookups with internally parallel table IO; returns
+        one ``KVStatus`` per key, in request order.
 
         RocksDB's multiget amortizes per-request CPU and overlaps the block
         reads of different keys; here each key's table lookup runs as its own
@@ -525,7 +625,9 @@ class LSMEngine:
         for key in keys:
             state, value = self._memory_lookup(key, snapshot_seq)
             if state != NOT_FOUND:
-                results[key] = value if state == FOUND else None
+                results[key] = (
+                    KVStatus.ok(value) if state == FOUND else KVStatus.not_found()
+                )
             elif key not in results and key not in order:
                 order.append(key)
         sim = self.env.sim
@@ -534,14 +636,22 @@ class LSMEngine:
             state, value = yield from self._table_lookup(
                 ctx, key, snapshot_seq, charge_probes=False
             )
-            return key, (value if state == FOUND else None)
+            status = KVStatus.ok(value) if state == FOUND else KVStatus.not_found()
+            return key, status
 
         lookups = [sim.spawn(lookup_one(key)) for key in order]
         if lookups:
             done = yield sim.all_of(lookups)
-            for key, value in done:
-                results[key] = value
-        return [results.get(key) for key in keys]
+            for key, status in done:
+                results[key] = status
+        return [results.get(key, KVStatus.not_found()) for key in keys]
+
+    def multiget(
+        self, ctx, keys: List[bytes], snapshot_seq: Optional[int] = None
+    ) -> Generator:
+        """Multiget sugar: value-or-None per key (see multiget_status)."""
+        statuses = yield from self.multiget_status(ctx, keys, snapshot_seq)
+        return [status.value_or(None) for status in statuses]
 
     # ------------------------------------------------------------------
     # Range reads
@@ -697,13 +807,22 @@ class LSMEngine:
                 yield self.flush_cond.wait()
                 continue
             self._flush_busy += 1
-            memtable, log_number = self.immutables[self._flush_busy - 1]
+            memtable, min_log = self.immutables[self._flush_busy - 1]
+            failed = False
             try:
-                yield from self._flush_one(ctx, memtable, log_number)
+                yield from self._flush_one(ctx, memtable, min_log)
+            except (IOFailure, TimedOut):
+                # Degradation: retries were exhausted.  The immutable stays
+                # queued (its WAL is still live), so no data is lost; back
+                # off and try again rather than killing the flush thread.
+                failed = True
+                self.counters.add("bg_flush_errors")
             finally:
                 self._flush_busy -= 1
+            if failed:
+                yield self.env.sim.timeout(200e-6)
 
-    def _flush_one(self, ctx, memtable: MemTable, log_number: int) -> Generator:
+    def _flush_one(self, ctx, memtable: MemTable, min_log: int) -> Generator:
         costs = self.costs
         tracer = self.env.sim.tracer
         span = (
@@ -736,18 +855,33 @@ class LSMEngine:
         table = builder.finish()
         blob = self.versions.blob_name(number)
         self.env.disk.put_blob(blob, table, table.file_size)
-        yield self.env.device.write(table.file_size, category="flush")
+        yield from retry_io(
+            self.env,
+            lambda: self.env.device.write(table.file_size, category="flush"),
+            site="flush-sst", counters=self.counters,
+        )
         self.env.disk.commit_blob(blob)
+        faults = self.env.faults
+        if faults is not None:
+            # Between SST commit and manifest install: recovery must GC the
+            # orphan blob and replay the still-live WAL.
+            faults.crash_site("flush-install")
         self.counters.add("flush_bytes", table.file_size)
         self.counters.add("flushes")
         # Install the SST *before* dropping the immutable: between the two
         # steps readers see the data twice (harmless - MVCC dedup hides it),
-        # never zero times.  The oldest useful WAL is whatever backs the
-        # remaining immutables, else the active log.
+        # never zero times.  The oldest useful WAL is the min over everything
+        # that still depends on one: remaining immutables, the active
+        # memtable (whose entries may predate its own segment under
+        # pipelined writes), and groups pinned between WAL and memtable.
         remaining = [
             (mt, log) for mt, log in self.immutables if mt is not memtable
         ]
-        oldest_log = remaining[0][1] if remaining else self.log_file_number
+        needed = [log for _mt, log in remaining]
+        needed.append(self.memtable_min_log)
+        if self._wal_pins:
+            needed.append(min(self._wal_pins))
+        oldest_log = min(needed)
         edit = VersionEdit(
             added=[(0, FileMeta.from_table(table))], log_number=oldest_log
         )
@@ -755,7 +889,13 @@ class LSMEngine:
         self.immutables = [
             (mt, log) for mt, log in self.immutables if mt is not memtable
         ]
-        self.env.disk.delete_file(self._wal_path(log_number))
+        # Drop every segment below the durable watermark (not just this
+        # memtable's: the flushed data may keep later segments alive while
+        # an earlier flush already freed older ones).
+        prefix = "%s/wal-" % self.name
+        for path in self.env.disk.list_files(prefix):
+            if int(path[len(prefix):]) < oldest_log:
+                self.env.disk.delete_file(path)
         self._update_backlog()
         self.stall_cond.notify_all()
         self.compact_cond.notify_all()
@@ -772,7 +912,13 @@ class LSMEngine:
             if compaction is None:
                 yield self.compact_cond.wait()
                 continue
-            yield from self._run_compaction(ctx, compaction)
+            try:
+                yield from self._run_compaction(ctx, compaction)
+            except (IOFailure, TimedOut):
+                # Inputs are untouched and uncommitted outputs are orphan
+                # blobs (GC'd on recovery); re-pick after a short backoff.
+                self.counters.add("bg_compaction_errors")
+                yield self.env.sim.timeout(200e-6)
             self.stall_cond.notify_all()
 
     def _run_compaction(self, ctx, compaction: Compaction) -> Generator:
@@ -798,7 +944,12 @@ class LSMEngine:
         try:
             runs = []
             for meta in compaction.all_inputs:
-                entries = yield from meta.table.read_all_entries(self.env.device)
+                table = meta.table
+                entries = yield from retry_io(
+                    self.env,
+                    lambda: table.read_all_entries(self.env.device),
+                    site="compaction-read", counters=self.counters,
+                )
                 runs.append(entries)
             merged = merge_sorted_runs(runs)
             survivors = dedup_entries(
@@ -833,7 +984,12 @@ class LSMEngine:
             for table in outputs:
                 blob = self.versions.blob_name(table.number)
                 self.env.disk.put_blob(blob, table, table.file_size)
-                yield self.env.device.write(table.file_size, category="compaction")
+                size = table.file_size
+                yield from retry_io(
+                    self.env,
+                    lambda: self.env.device.write(size, category="compaction"),
+                    site="compaction-sst", counters=self.counters,
+                )
                 self.env.disk.commit_blob(blob)
                 yield from self._throttle_compaction(table.file_size)
             edit = VersionEdit(

@@ -27,6 +27,9 @@ class Env:
     disk: DiskImage
     #: the machine's live-metrics namespace (see docs/METRICS.md).
     metrics: StatsRegistry = field(default_factory=StatsRegistry)
+    #: the installed fault plane (repro.faults), or None — code probes it
+    #: with a single attribute test, like the tracer/edgelog off paths.
+    faults: Optional[object] = None
 
     @property
     def now(self) -> float:

@@ -50,6 +50,10 @@ class EngineOptions:
     #: duration of one slowdown pause injected ahead of a write when L0 is
     #: at the slowdown trigger (RocksDB's delayed write rate, simplified).
     slowdown_delay: float = 0.5e-3
+    #: deadline for one full-stop stall episode: a writer blocked longer
+    #: than this raises ``Stalled`` instead of waiting forever (useful when
+    #: fault injection wedges the flush path).  None = wait indefinitely.
+    stall_timeout: Optional[float] = None
     #: SILK-style IO scheduling (the latency-spike mitigation the paper's
     #: related work cites): cap compaction's device-write rate in bytes/s so
     #: foreground WAL/flush IO is never starved.  None = unthrottled.

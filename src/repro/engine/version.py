@@ -20,6 +20,8 @@ from typing import Generator, List, Optional, Tuple
 
 from repro.engine.env import Env
 from repro.engine.options import EngineOptions
+from repro.errors import Corruption
+from repro.faults.retry import retry_io
 from repro.storage.sstable import SSTable
 from repro.storage.wal import LogReader, LogWriter
 
@@ -145,7 +147,10 @@ class VersionSet:
             # flush and compaction installs order each other.
             monitor.on_sync(self)
         self._manifest.append(edit.encode())
-        yield from self._manifest.flush(category="manifest")
+        yield from retry_io(
+            self.env, lambda: self._manifest.flush(category="manifest"),
+            site="manifest",
+        )
         self._apply(edit)
 
     def _apply(self, edit: VersionEdit) -> None:
@@ -170,7 +175,10 @@ class VersionSet:
         data = yield from vfile.read_all(category="manifest")
         live: List[Tuple[int, int]] = []  # (level, number) in apply order
         max_number = 0
-        for record in LogReader(data):
+        # A truncated manifest tail is a legal crash artifact: the final
+        # edit never committed, so the tree it describes never existed.
+        # A CRC mismatch inside it raises Corruption (LogReader).
+        for record in LogReader(data, source=self._manifest_path()):
             edit = pickle.loads(record.payload)
             for level, number in edit["deleted"]:
                 live = [(l, n) for (l, n) in live if n != number]
@@ -183,8 +191,9 @@ class VersionSet:
         for level, number in live:
             blob = self.blob_name(number)
             if not self.env.disk.blob_exists(blob):
-                raise RuntimeError(
-                    "manifest references missing SSTable %s" % blob
+                raise Corruption(
+                    "manifest references missing SSTable %s" % blob,
+                    site=self._manifest_path(),
                 )
             table = self.env.disk.get_blob(blob)
             levels[level].append(FileMeta.from_table(table))

@@ -19,6 +19,7 @@ This file is where the paper's scalability pathology lives:
 from collections import deque
 from typing import Deque, Generator, List, Optional
 
+from repro.errors import KVError
 from repro.sim.sync import Barrier, Lock
 
 __all__ = ["WriteGroupCoordinator", "Writer"]
@@ -27,7 +28,16 @@ __all__ = ["WriteGroupCoordinator", "Writer"]
 class Writer:
     """One pending write request inside the group machinery."""
 
-    __slots__ = ("ctx", "batch", "gsn", "rtype", "role_event", "enqueue_time", "_seqs")
+    __slots__ = (
+        "ctx",
+        "batch",
+        "gsn",
+        "rtype",
+        "role_event",
+        "enqueue_time",
+        "_seqs",
+        "_wal_number",
+    )
 
     def __init__(self, ctx, batch, gsn: int, rtype: int):
         self.ctx = ctx
@@ -36,10 +46,20 @@ class Writer:
         self.rtype = rtype
         self.role_event = None
         self.enqueue_time = 0.0
+        self._wal_number: Optional[int] = None
 
 
 class _Group:
-    __slots__ = ("members", "barrier", "wal_done_time", "first_seq", "last_seq", "remaining")
+    __slots__ = (
+        "members",
+        "barrier",
+        "wal_done_time",
+        "first_seq",
+        "last_seq",
+        "remaining",
+        "wal_number",
+        "pinned",
+    )
 
     def __init__(self, members: List[Writer]):
         self.members = members
@@ -48,6 +68,11 @@ class _Group:
         self.first_seq = 0
         self.last_seq = -1
         self.remaining = len(members)
+        #: the WAL segment this group's records went to (None: WAL disabled).
+        #: Pinned in the engine until every member's memtable insert lands,
+        #: so a concurrent flush install cannot obsolete the segment first.
+        self.wal_number: Optional[int] = None
+        self.pinned = False
 
 
 class WriteGroupCoordinator:
@@ -88,6 +113,10 @@ class WriteGroupCoordinator:
             ctx.account_wait("wal_lock", self.sim.now - writer.enqueue_time)
             yield from self._lead(writer)
             return
+        if role[0] == "failed":
+            # The group died before any memtable insert (stall timeout,
+            # exhausted IO retries): every member reports the same error.
+            raise role[1]
         if role[0] == "insert":
             yield from self._follow_insert(writer, role[1])
         else:  # "done": the leader applied everything for us
@@ -132,11 +161,42 @@ class WriteGroupCoordinator:
         read its own write after returning."""
         group.remaining -= 1
         if group.remaining == 0:
+            if group.pinned:
+                self.engine.unpin_wal(group.wal_number)
+                group.pinned = False
             self.engine.publish_seqs(group.first_seq, group.last_seq)
 
     # -- leader path -----------------------------------------------------------
 
     def _lead(self, leader: Writer) -> Generator:
+        group_box: List[_Group] = []
+        try:
+            yield from self._lead_inner(leader, group_box)
+        except KVError as exc:
+            self._abort_group(group_box[0] if group_box else None, exc)
+            raise
+
+    def _abort_group(self, group: Optional[_Group], exc: KVError) -> None:
+        """A group died before its memtable stage (stall timeout, exhausted
+        IO retries): release the WAL pin, report the same error to every
+        waiting member, and hand leadership on.  Degradation must fail the
+        requests, never wedge the write path — KVError can only surface
+        before the pipelined hand-off, so handing over here cannot elect a
+        second concurrent leader."""
+        if group is not None:
+            if group.pinned:
+                self.engine.unpin_wal(group.wal_number)
+                group.pinned = False
+            for w in group.members[1:]:
+                if w.role_event is not None and not w.role_event.triggered:
+                    w.role_event.succeed(("failed", exc))
+            if group.last_seq >= group.first_seq:
+                # Nothing was applied under these seqs; publishing them keeps
+                # the contiguous publication chain moving for later groups.
+                self.engine.publish_seqs(group.first_seq, group.last_seq)
+        self._handover()
+
+    def _lead_inner(self, leader: Writer, group_box: List["_Group"]) -> Generator:
         ctx = leader.ctx
         costs = self.costs
         opts = self.opts
@@ -156,6 +216,7 @@ class WriteGroupCoordinator:
         while self._pending and len(members) < group_cap:
             members.append(self._pending.popleft())
         group = _Group(members)
+        group_box.append(group)
         n = len(members)
         if lead_span is not None:
             lead_span.set(group=n)
@@ -175,6 +236,11 @@ class WriteGroupCoordinator:
                 if lead_span is not None
                 else None
             )
+            # Capture the segment the appends go to: the active log can
+            # rotate (another leader's post-write switch) while this group is
+            # still between its WAL and memtable stages.
+            log_writer = engine.log_writer
+            group.wal_number = engine.log_file_number
             encode_cpu = 0.0
             wal_bytes = 0
             for w in members:
@@ -184,8 +250,12 @@ class WriteGroupCoordinator:
                 # Attribute each member's WAL record to its own request's
                 # perf context, even though the leader writes them all.
                 engine.log_append(payload, w.rtype, w.gsn, perf=w.ctx.perf)
+                w._wal_number = group.wal_number
+            if opts.enable_memtable:
+                engine.pin_wal(group.wal_number)
+                group.pinned = True
             yield self.cpu.exec(ctx, encode_cpu + costs.wal_write_setup, "wal")
-            yield from engine.maybe_flush_wal(ctx)
+            yield from engine.maybe_flush_wal(ctx, log_writer)
             if wal_span is not None:
                 wal_span.finish(bytes=wal_bytes)
         group.wal_done_time = self.sim.now
@@ -232,6 +302,9 @@ class WriteGroupCoordinator:
                     yield self.cpu.exec(ctx, total, "memtable")
                 for w, wseqs in zip(members, seqs):
                     self._apply_batch(w, wseqs)
+                if group.pinned:
+                    engine.unpin_wal(group.wal_number)
+                    group.pinned = False
                 # Publish before any follower wakes: a returning writer must
                 # be able to read its own write.
                 engine.publish_seqs(group.first_seq, group.last_seq)
@@ -319,4 +392,9 @@ class WriteGroupCoordinator:
     def _apply_batch(self, writer: Writer, seqs) -> None:
         if writer.ctx.perf is not None:
             writer.ctx.perf.add("memtable_inserts", len(writer.batch))
+        if writer._wal_number is not None:
+            # The insert may land in a memtable newer than the segment the
+            # record was logged to (pipelined writes): the active memtable
+            # inherits the dependency so the segment outlives it.
+            self.engine.note_wal_dependency(writer._wal_number)
         self.engine.apply_to_memtable(writer.batch, seqs)

@@ -1,0 +1,114 @@
+"""Shadow-map oracle: did recovery keep every promise the store made?
+
+The driver mirrors each write attempt into the shadow map *before* issuing
+it (``begin``), then records the outcome (``ack`` on success, ``nack`` on a
+typed error; attempts still in flight when a crash lands stay ``inflight``).
+After crash + reopen, ``verify`` checks the recovered key space against the
+ledger:
+
+* every acknowledged write survives — if a later acked attempt overwrote a
+  key, the later value (or a yet-newer one) must be visible;
+* nothing half-visible — a recovered value must be one the driver actually
+  attempted (no phantom or spliced values);
+* multi-key groups (WriteBatch / cross-worker txns) are all-or-nothing.
+
+Two driver-side conventions make the checks exact rather than heuristic:
+each key is written by a single logical thread (so per-key attempt order is
+program order), and attempt values are unique per key (so a recovered value
+identifies which attempt it came from).  Unacknowledged *single* writes may
+legally be either present or absent — the crash raced the ack.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ShadowMap"]
+
+INFLIGHT = "inflight"
+ACKED = "acked"
+FAILED = "failed"
+
+
+class ShadowMap:
+    def __init__(self):
+        #: key -> ordered list of attempt dicts (program order per key).
+        self._attempts = {}
+        self._groups = []
+        self.counts = {ACKED: 0, FAILED: 0, INFLIGHT: 0}
+
+    def begin(self, items):
+        """Record a write attempt for ``items`` (list of ``(key, value)``);
+        singles are groups of one.  Returns the token for ack/nack."""
+        group = {"keys": [key for key, _ in items], "state": INFLIGHT,
+                 "error": None}
+        self._groups.append(group)
+        for key, value in items:
+            attempts = self._attempts.setdefault(bytes(key), [])
+            attempts.append({"value": bytes(value), "group": group})
+        return group
+
+    def ack(self, token):
+        token["state"] = ACKED
+
+    def nack(self, token, error=None):
+        token["state"] = FAILED
+        token["error"] = getattr(error, "code", None) or str(error)
+
+    def universe(self):
+        """Every key any attempt touched, sorted (the verifier reads these)."""
+        return sorted(self._attempts)
+
+    def summary(self):
+        counts = {ACKED: 0, FAILED: 0, INFLIGHT: 0}
+        for group in self._groups:
+            counts[group["state"]] += 1
+        return {"attempt_groups": len(self._groups), **counts}
+
+    def verify(self, recovered):
+        """Check recovered state (``key -> value-or-None``) against the
+        ledger.  Returns a sorted list of violation strings; empty == pass."""
+        violations = []
+        for key in self.universe():
+            attempts = self._attempts[key]
+            value = recovered.get(key)
+            values = [a["value"] for a in attempts]
+            if value is not None and value not in values:
+                violations.append(
+                    "phantom: key %r recovered value %r never written"
+                    % (key, value))
+                continue
+            last_acked = None
+            for index, attempt in enumerate(attempts):
+                if attempt["group"]["state"] == ACKED:
+                    last_acked = index
+            if last_acked is None:
+                continue
+            if value is None:
+                violations.append(
+                    "lost-ack: key %r absent but attempt #%d was acknowledged"
+                    % (key, last_acked))
+                continue
+            # Unique-per-key values: the recovered value names its attempt.
+            seen_at = max(i for i, v in enumerate(values) if v == value)
+            if seen_at < last_acked:
+                violations.append(
+                    "stale-ack: key %r shows attempt #%d but attempt #%d "
+                    "was acknowledged later" % (key, seen_at, last_acked))
+        for gi, group in enumerate(self._groups):
+            keys = group["keys"]
+            if len(keys) < 2:
+                continue
+            # Drivers give batch keys exactly one attempt each, so presence
+            # of the group's value is well-defined per key.
+            visible = []
+            for key in keys:
+                attempts = self._attempts[bytes(key)]
+                mine = next(a["value"] for a in attempts
+                            if a["group"] is group)
+                visible.append(recovered.get(bytes(key)) == mine)
+            if any(visible) and not all(visible):
+                violations.append(
+                    "torn-group: group #%d (%s) is partially visible: %s"
+                    % (gi, group["state"],
+                       ", ".join("%r=%s" % (k, "Y" if v else "n")
+                                 for k, v in zip(keys, visible))))
+        return sorted(violations)

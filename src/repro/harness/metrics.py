@@ -123,6 +123,9 @@ class MetricsCollector:
         self.env = env
         self.system_name = system_name
         self.latency: Dict[str, Histogram] = {}
+        #: typed-error counts by code; stays empty (and invisible in the
+        #: output) on fault-free runs.
+        self.errors: Dict[str, int] = {}
         self._t0: Optional[float] = None
         self._dev0: Dict[str, float] = {}
         self._cpu0 = 0.0
@@ -173,6 +176,7 @@ class MetricsCollector:
         without wedging the env for the next collector)."""
         self.release()
         self.latency = {}
+        self.errors = {}
         self._t0 = None
         self._dev0 = {}
         self._cpu0 = 0.0
@@ -190,6 +194,10 @@ class MetricsCollector:
 
     def note_memory(self, nbytes: int) -> None:
         self.memory_peak = max(self.memory_peak, nbytes)
+
+    def record_error(self, code: str) -> None:
+        """Count a typed per-op failure (KVError.code) in the window."""
+        self.errors[code] = self.errors.get(code, 0) + 1
 
     def finish(self, n_ops: int, user_bytes_written: float, memory_bytes: int) -> Metrics:
         env = self.env
@@ -232,6 +240,10 @@ class MetricsCollector:
             n_cores=env.cpu.n_cores,
             write_bandwidth=env.device.spec.write_bandwidth,
         )
+        if self.errors:
+            # Only when nonzero: fault-free results stay byte-identical to
+            # runs predating the fault plane.
+            metrics.extra["errors"] = dict(sorted(self.errors.items()))
         tracer = env.sim.tracer
         if tracer.enabled:
             # Span-derived Figure 6 breakdown over the measured window, for

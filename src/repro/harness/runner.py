@@ -30,6 +30,7 @@ from repro.engine.options import (
     pebblesdb_options,
     rocksdb_options,
 )
+from repro.errors import KVError
 from repro.harness.metrics import Metrics, MetricsCollector
 from repro.sim.sync import Semaphore
 
@@ -379,12 +380,19 @@ def run_closed_loop(
                 if tracer.enabled and not is_p2kvs
                 else None
             )
-            if per_instance:
-                yield from system.execute(ctx, op, thread_index)
-            elif is_p2kvs:
-                yield from system.execute(ctx, op, collector if measure else None)
-            else:
-                yield from system.execute(ctx, op)
+            try:
+                if per_instance:
+                    yield from system.execute(ctx, op, thread_index)
+                elif is_p2kvs:
+                    yield from system.execute(ctx, op, collector if measure else None)
+                else:
+                    yield from system.execute(ctx, op)
+            except KVError as exc:
+                # Degradation, not termination: a typed error fails the op
+                # and the user thread moves on (only fault-injection runs
+                # ever take this path).
+                if measure:
+                    collector.record_error(exc.code)
             if span is not None:
                 span.finish()
             if measure and not (is_p2kvs and system.async_window and op[0] in ("insert", "update")):
@@ -438,7 +446,10 @@ def run_open_loop(
 
     def one_op(ctx, op):
         started = env.sim.now
-        yield from system.execute(ctx, op)
+        try:
+            yield from system.execute(ctx, op)
+        except KVError as exc:
+            collector.record_error(exc.code)
         collector.record_latency(_VERB_CLASS[op[0]], env.sim.now - started)
 
     def arrivals():

@@ -101,6 +101,9 @@ class StorageDevice:
         #: what-if knob (see repro.critpath.whatif): service time (setup +
         #: transfer) for a category is multiplied by its factor.
         self.category_scale: Dict[str, float] = {}
+        #: fault-injection knob (see repro.faults): when installed, consulted
+        #: once per submission; None is the zero-overhead off path.
+        self.fault_policy = None
         self.bytes_by_category = Counter()
         self.bytes_by_kind = Counter()
         self.io_count = Counter()
@@ -150,12 +153,15 @@ class StorageDevice:
         ev = self.sim.event()
         now = self.sim.now
         initiator = self.sim.current_process
+        policy = self.fault_policy
+        fault = policy.decide(kind, nbytes, category) if policy is not None else None
         if self._free_channels:
             self._start(
-                self._free_channels.pop(), kind, nbytes, random, ev, category, now, initiator
+                self._free_channels.pop(), kind, nbytes, random, ev, category, now,
+                initiator, fault,
             )
         else:
-            self._queue.append((kind, nbytes, random, ev, category, now, initiator))
+            self._queue.append((kind, nbytes, random, ev, category, now, initiator, fault))
         return ev
 
     # -- internals -------------------------------------------------------------
@@ -170,6 +176,7 @@ class StorageDevice:
         category: str,
         queued_at: float,
         initiator,
+        fault=None,
     ) -> None:
         """Two-stage service: per-IO setup overlaps across channels, but the
         byte transfer reserves the shared bandwidth pipe for its direction —
@@ -179,7 +186,17 @@ class StorageDevice:
         bandwidth = (
             self.spec.read_bandwidth if kind == "read" else self.spec.write_bandwidth
         )
-        transfer = nbytes / bandwidth
+        # A failing IO still occupies the device: an erroring/timing-out IO
+        # burns its setup, a torn write moves only its completed prefix.
+        moved = nbytes
+        if fault is not None:
+            if fault[0] == "fail":
+                moved = getattr(fault[1], "completed_bytes", 0) or 0
+            elif fault[0] == "spike":
+                setup *= fault[1]
+        transfer = moved / bandwidth
+        if fault is not None and fault[0] == "spike":
+            transfer *= fault[1]
         if self.category_scale:
             factor = self.category_scale.get(category, 1.0)
             setup *= factor
@@ -193,7 +210,7 @@ class StorageDevice:
         done = self.sim.timeout(transfer_end - started)
         done.add_callback(
             lambda _ev: self._finish(
-                channel, kind, nbytes, ev, category, started, queued_at, initiator
+                channel, kind, nbytes, ev, category, started, queued_at, initiator, fault
             )
         )
 
@@ -207,9 +224,40 @@ class StorageDevice:
         started: float,
         queued_at: float,
         initiator,
+        fault=None,
     ) -> None:
         now = self.sim.now
         self.busy_channel_time += now - started
+        if fault is not None and fault[0] == "fail":
+            # Channel/queue bookkeeping must happen regardless of outcome, or
+            # a single injected error would leak a channel forever.
+            exc = fault[1]
+            moved = getattr(exc, "completed_bytes", 0) or 0
+            if moved:
+                self.bytes_by_category.add(category, moved)
+                self.bytes_by_kind.add(kind, moved)
+                self.bytes_by_kind.add("%s:%s" % (kind, category), moved)
+                series = self.bandwidth_series.get(category)
+                if series is None:
+                    series = self.bandwidth_series[category] = TimeSeries(self._series_bin)
+                series.add(now, moved)
+            self.io_count.add("%s:fault" % kind)
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    "%s:%s" % (kind, category),
+                    "device",
+                    "device:ch-%d" % channel,
+                    started,
+                    now,
+                    args={"bytes": moved, "fault": exc.code},
+                )
+            if self._queue:
+                self._start(channel, *self._queue.popleft())
+            else:
+                self._free_channels.append(channel)
+            ev.fail(exc)
+            return
         self.bytes_by_category.add(category, nbytes)
         self.bytes_by_kind.add(kind, nbytes)
         self.bytes_by_kind.add("%s:%s" % (kind, category), nbytes)

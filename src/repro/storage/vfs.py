@@ -16,6 +16,7 @@ tail, which the recovery tests exercise.
 
 from typing import Any, Dict, Generator, List, Tuple
 
+from repro.errors import IOFailure
 from repro.sim.core import Simulator
 from repro.sim.device import StorageDevice
 
@@ -48,7 +49,19 @@ class VirtualFile:
         target = len(self.content)
         pending = target - self.flushed_len
         if pending > 0:
-            yield self.disk.device.write(pending, category=category)
+            try:
+                yield self.disk.device.write(pending, category=category)
+            except IOFailure as exc:
+                if exc.torn and exc.completed_bytes > 0:
+                    # A torn write: the prefix that reached the device before
+                    # the failure is durable — possibly ending mid-record,
+                    # which is exactly what LogReader's crash-tail handling
+                    # (and recovery) must cope with.
+                    advanced = min(target, self.flushed_len + exc.completed_bytes)
+                    if advanced > self.flushed_len:
+                        self.flushed_len = advanced
+                exc.details.setdefault("path", self.path)
+                raise
             # Another flusher may have advanced flushed_len meanwhile.
             if target > self.flushed_len:
                 self.flushed_len = target

@@ -10,14 +10,20 @@ prefix of the original log sequence number".  Standalone writes use record
 type STANDALONE; the WriteBatches split from a multi-instance transaction use
 type TXN and are kept at recovery only if the transaction committed.
 
-The reader stops at the first truncated or corrupt record — which is exactly
-what happens to a real log whose unsynced tail was lost in a crash.
+The reader distinguishes the two ways a log can end badly.  A *crash tail* —
+the record framing runs past the end of the data — is the expected signature
+of losing an unsynced (or torn) suffix and is reported via ``truncated`` /
+``tail_bytes`` so recovery can count it and move on.  A CRC mismatch on a
+*fully-present* record can never be produced by truncating an append-only
+log; it means the bytes themselves are wrong, and raises ``Corruption``.
 """
 
 import struct
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, Union
+
+from repro.errors import Corruption
 
 __all__ = ["LogReader", "LogWriter", "WalRecord", "RECORD_STANDALONE", "RECORD_TXN"]
 
@@ -92,11 +98,19 @@ class LogWriter:
 
 
 class LogReader:
-    """Iterates records out of raw log bytes, stopping at a bad tail."""
+    """Iterates records out of raw log bytes.
 
-    def __init__(self, data: Union[bytes, bytearray]):
+    Stops cleanly at a crash tail (``truncated=True``, with the dropped
+    byte count in ``tail_bytes``); raises :class:`~repro.errors.Corruption`
+    on a checksum mismatch inside a fully-present record.
+    """
+
+    def __init__(self, data: Union[bytes, bytearray], source: str = ""):
         self.data = bytes(data)
+        self.source = source
         self.truncated = False
+        self.tail_bytes = 0
+        self.records_read = 0
 
     def __iter__(self) -> Iterator[WalRecord]:
         offset = 0
@@ -107,13 +121,22 @@ class LogReader:
             start = offset + HEADER_SIZE
             end = start + length
             if end > n:
+                # The record body runs past the data: a lost/torn suffix.
                 self.truncated = True
+                self.tail_bytes = n - offset
                 return
             payload = data[start:end]
             if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
-                self.truncated = True
-                return
+                # Truncation of an append-only log can only remove a suffix,
+                # never alter bytes inside a complete record — this is real
+                # corruption, not a crash artifact.
+                raise Corruption(
+                    "log record CRC mismatch at offset %d" % offset,
+                    site=self.source or None, offset=offset, gsn=gsn)
             yield WalRecord(rtype, gsn, payload)
+            self.records_read += 1
             offset = end
         if offset != n:
+            # Fewer than HEADER_SIZE bytes left: a mid-header crash tail.
             self.truncated = True
+            self.tail_bytes = n - offset

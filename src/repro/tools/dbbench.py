@@ -19,20 +19,10 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core import adapter_factory
-from repro.baselines.wiredtiger import wiredtiger_adapter_factory
-from repro.engine import make_env, pebblesdb_options, rocksdb_options
-from repro.engine.options import leveldb_options
-from repro.harness import (
-    KVellSystem,
-    MultiInstanceSystem,
-    P2KVSSystem,
-    SingleInstanceSystem,
-    WiredTigerSystem,
-    open_system,
-    preload,
-    run_closed_loop,
-)
+from repro.engine import make_env
+from repro.harness import preload, run_closed_loop
+from repro.systems import open_system as open_named_system
+from repro.systems import system_names
 from repro.critpath import (
     critpath_report,
     install_edgelog,
@@ -54,7 +44,7 @@ from repro.workloads import (
 )
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readseq", "readrandom", "scan")
-SYSTEMS = ("rocksdb", "leveldb", "pebblesdb", "multi", "p2kvs", "kvell", "wiredtiger")
+SYSTEMS = tuple(system_names())
 DEVICES = {"nvme": OPTANE_905P, "sata": SATA_860PRO, "hdd": HDD_WD100EFAX}
 
 #: benchmarks that need a preloaded dataset before the measured phase.
@@ -237,50 +227,13 @@ def _check_sanitizer(env) -> None:
         monitor.check()
 
 
-def _scaled(maker):
-    return maker(
-        write_buffer_size=64 * 1024,
-        target_file_size=64 * 1024,
-        max_bytes_for_level_base=256 * 1024,
-    )
-
-
 def _build_system(env, args):
-    if args.system == "rocksdb":
-        return open_system(env, SingleInstanceSystem.open(env, _scaled(rocksdb_options)))
-    if args.system == "leveldb":
-        return open_system(env, SingleInstanceSystem.open(env, _scaled(leveldb_options)))
-    if args.system == "pebblesdb":
-        return open_system(
-            env,
-            SingleInstanceSystem.open(env, _scaled(pebblesdb_options), name="pebbles"),
-        )
-    if args.system == "multi":
-        return open_system(
-            env,
-            MultiInstanceSystem.open(
-                env, args.workers, lambda: _scaled(rocksdb_options)
-            ),
-        )
-    if args.system == "kvell":
-        return open_system(env, KVellSystem.open(env, n_workers=args.workers))
-    if args.system == "wiredtiger":
-        return open_system(env, WiredTigerSystem.open(env))
-    adapter = adapter_factory(
-        "rocksdb",
-        write_buffer_size=64 * 1024,
-        target_file_size=64 * 1024,
-        max_bytes_for_level_base=256 * 1024,
-    )
-    return open_system(
+    return open_named_system(
+        args.system,
         env,
-        P2KVSSystem.open(
-            env,
-            n_workers=args.workers,
-            adapter_open=adapter,
-            obm=not args.no_obm,
-            async_window=args.async_window,
-        ),
+        workers=args.workers,
+        obm=not args.no_obm,
+        async_window=args.async_window,
     )
 
 
@@ -336,6 +289,10 @@ def run_benchmark(
         "cpu_cores_busy": metrics.cpu_utilization,
         "simulated_seconds": metrics.elapsed,
     }
+    # Present only when a fault policy produced typed per-op failures, so
+    # fault-free results stay byte-identical.
+    if "errors" in metrics.extra:
+        result["errors"] = metrics.extra["errors"]
     if tracer is not None:
         if trace_path:
             extras, flows = (

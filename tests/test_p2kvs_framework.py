@@ -185,7 +185,8 @@ class TestOBM:
         run_process(env, work())
         env.sim.run()
         # The GET must observe b"1" (submitted before the second PUT of "a").
-        assert results == [b"1"]
+        # Callbacks receive the uniform KVStatus.
+        assert [status.value for status in results] == [b"1"]
 
 
 class TestRangeQueries:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import Corruption
 from repro.sim import OPTANE_905P, Simulator, StorageDevice
 from repro.storage.vfs import DiskImage
 from repro.storage.wal import (
@@ -135,12 +136,19 @@ class TestWal:
         assert [r.payload for r in records] == [b"good"]
         assert reader.truncated
 
-    def test_reader_stops_at_corrupt_crc(self):
+    def test_reader_raises_corruption_on_bad_crc(self):
+        # A CRC mismatch on a fully-present record is real damage, not a
+        # crash tail (truncation can only remove a suffix): it must raise.
         data = bytearray(encode_record(b"aaaa") + encode_record(b"bbbb"))
         data[-1] ^= 0xFF  # corrupt last payload byte
-        reader = LogReader(data)
-        assert [r.payload for r in reader] == [b"aaaa"]
-        assert reader.truncated
+        reader = LogReader(data, source="wal")
+        decoded = []
+        with pytest.raises(Corruption) as excinfo:
+            for record in reader:
+                decoded.append(record.payload)
+        assert decoded == [b"aaaa"]
+        assert not reader.truncated
+        assert excinfo.value.site == "wal"
 
     def test_crash_then_replay_recovers_only_durable_records(self):
         sim, disk = make_disk()

@@ -4,6 +4,7 @@ crash at ANY byte boundary yields a clean record prefix (never garbage)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import Corruption
 from repro.storage.wal import (
     HEADER_SIZE,
     LogReader,
@@ -60,15 +61,23 @@ def test_single_bit_corruption_never_passes_crc(records, flip_at):
     flip_at = flip_at % len(data)
     data[flip_at] ^= 0x01
     reader = LogReader(bytes(data))
-    decoded = [r.payload for r in reader]
-    # Whatever survives must be a prefix of the originals (CRC or header
-    # framing stops the reader at or before the corruption)... unless the
-    # flipped bit landed in a later record that was never reached.
-    assert decoded == records[: len(decoded)] or reader.truncated is True
+    decoded = []
+    corrupted = False
+    try:
+        for record in reader:
+            decoded.append(record.payload)
+    except Corruption:
+        corrupted = True
     # The reader can never emit a payload that differs from the original
-    # at the same position.
+    # at the same position: a CRC mismatch raises Corruption *before* the
+    # damaged record is yielded, and a length-field flip that runs the
+    # record past the data reads as a torn tail.
     for got, want in zip(decoded, records):
         assert got == want
+    # The only undetectable single-bit flip is one in a header field the
+    # CRC does not cover (rtype/gsn) — the payload stream still decodes
+    # completely and correctly in that case.
+    assert corrupted or reader.truncated or decoded == records
 
 
 @given(payload=st.binary(max_size=128), gsn=st.integers(0, 2**63 - 1))

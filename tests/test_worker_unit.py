@@ -115,7 +115,7 @@ class TestWorkerExecution:
         worker.submit(get)
         env.sim.run()
         assert scan.future.triggered and get.future.triggered
-        assert len(scan.future.value) == 5
+        assert len(scan.future.value.value) == 5  # future carries a KVStatus
 
     def test_worker_pinned_to_requested_core(self, env):
         kvs = open_p2kvs(env, n_workers=2, pin_workers=True)
