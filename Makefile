@@ -5,8 +5,8 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-regress bench-regress-update lint sanitize \
-	perturb-smoke critpath-smoke faults-smoke ci trace-demo stats-demo \
-	critpath-demo whatif-demo clean
+	perturb-smoke critpath-smoke faults-smoke serve-smoke ci trace-demo \
+	stats-demo critpath-demo whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -67,8 +67,35 @@ faults-smoke:
 	    || (echo "faults-smoke: reports differ across reruns" >&2; exit 1)
 	@rm -f .faults-rerun.json
 
+# Service-plane smoke: a 1-shard and a 4-shard scenario must produce
+# byte-identical SLO reports across a schedule-perturbed rerun (the report
+# is a pure function of the flags; see docs/SERVICE.md).  Writes
+# serve-report.{json,csv} (kept for the CI artifact).
+SERVE_SMOKE_ARGS = --ops 300 --rate 600000 --key-space 200 --value-size 64 \
+    --partitions 8 --queue-cap 16 --dispatchers 2 --workers 2 --cores 16
+
+serve-smoke:
+	@$(PY) -m repro.tools.serve --scenario uniform --shards 1 \
+	    $(SERVE_SMOKE_ARGS) --json .serve-1shard.json > /dev/null
+	@$(PY) -m repro.tools.serve --scenario uniform --shards 1 \
+	    $(SERVE_SMOKE_ARGS) --schedule-seed 7 --json .serve-1shard-rerun.json \
+	    > /dev/null
+	@cmp .serve-1shard.json .serve-1shard-rerun.json \
+	    && echo "serve-smoke: 1-shard report identical under perturbation" \
+	    || (echo "serve-smoke: 1-shard reports differ" >&2; exit 1)
+	@$(PY) -m repro.tools.serve --scenario hotkey --shards 4 \
+	    $(SERVE_SMOKE_ARGS) --json serve-report.json --csv serve-report.csv \
+	    > /dev/null
+	@$(PY) -m repro.tools.serve --scenario hotkey --shards 4 \
+	    $(SERVE_SMOKE_ARGS) --schedule-seed 7 --json .serve-rerun.json \
+	    > /dev/null
+	@cmp serve-report.json .serve-rerun.json \
+	    && echo "serve-smoke: 4-shard report identical under perturbation" \
+	    || (echo "serve-smoke: 4-shard reports differ" >&2; exit 1)
+	@rm -f .serve-1shard.json .serve-1shard-rerun.json .serve-rerun.json
+
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint test perturb-smoke critpath-smoke faults-smoke bench-regress
+ci: lint test perturb-smoke critpath-smoke faults-smoke serve-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -106,4 +133,5 @@ clean:
 	rm -f critpath-demo.json critpath-demo-trace.json
 	rm -f whatif-report.txt whatif-report.json
 	rm -f faults-report.json .faults-rerun.json
+	rm -f serve-report.json serve-report.csv .serve-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

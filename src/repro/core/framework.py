@@ -69,7 +69,8 @@ class P2KVS:
         # Aggregate OBM backlog across every worker queue (Figure 9a's
         # accessing layer), snapshotted by the sim-time sampler.
         env.metrics.gauge(
-            "p2kvs.obm.queue_depth", lambda: sum(len(w.queue) for w in self.workers)
+            "%s.obm.queue_depth" % name,
+            lambda: sum(len(w.queue) for w in self.workers),
         )
 
     # ------------------------------------------------------------------
@@ -85,6 +86,7 @@ class P2KVS:
         obm: bool = True,
         obm_cap: int = 32,
         pin_workers: bool = True,
+        pin_base: int = 0,
         scan_strategy: str = "parallel",
         router=None,
         name: str = "p2kvs",
@@ -108,9 +110,18 @@ class P2KVS:
             adapter = yield from adapter_open(
                 env, "%s/db-%d" % (name, i), record_filter
             )
-            core = (i % env.cpu.n_cores) if pin_workers else None
+            # ``pin_base`` offsets the pin targets so several deployments
+            # on one machine (the service plane's shards) get disjoint
+            # cores instead of all stacking their workers on core 0.
+            core = ((pin_base + i) % env.cpu.n_cores) if pin_workers else None
             worker = Worker(
-                i, env, adapter, core=core, obm_enabled=obm, obm_cap=obm_cap
+                i,
+                env,
+                adapter,
+                core=core,
+                obm_enabled=obm,
+                obm_cap=obm_cap,
+                prefix=name,
             )
             workers.append(worker)
         for worker in workers:

@@ -45,26 +45,34 @@ class Worker:
         core: int,
         obm_enabled: bool = True,
         obm_cap: int = DEFAULT_BATCH_CAP,
+        prefix: str = "p2kvs",
     ):
         self.worker_id = worker_id
         self.env = env
         self.adapter = adapter
         self.obm_enabled = obm_enabled
         self.obm_cap = obm_cap
-        self.queue = FIFOQueue(env.sim, "worker-%d" % worker_id)
-        self.queue_track = "queues:worker-%d" % worker_id
+        # The default deployment keeps its historical un-prefixed queue and
+        # metric names; a named instance (a service-plane shard) qualifies
+        # everything so N deployments coexist on one machine.
+        qual = "" if prefix == "p2kvs" else prefix + "-"
+        self.queue = FIFOQueue(env.sim, "%sworker-%d" % (qual, worker_id))
+        self.queue_track = "queues:%sworker-%d" % (qual, worker_id)
         self.ctx = env.cpu.new_thread(
-            "p2kvs-worker-%d" % worker_id, kind="worker", pinned=core
+            "%s-worker-%d" % (prefix, worker_id), kind="worker", pinned=core
         )
         # Registry-backed stats: the counter family and OBM batch-size
-        # histogram live under "p2kvs.worker-<id>.*" machine-wide; the queue
-        # depth is a gauge the sim-time sampler snapshots.
-        self.counters = env.metrics.group("p2kvs.worker-%d" % worker_id, fresh=True)
+        # histogram live under "<prefix>.worker-<id>.*" machine-wide; the
+        # queue depth is a gauge the sim-time sampler snapshots.
+        self.counters = env.metrics.group(
+            "%s.worker-%d" % (prefix, worker_id), fresh=True
+        )
         self.batch_sizes = env.metrics.histogram(
-            "p2kvs.worker-%d.batch_size" % worker_id, fresh=True
+            "%s.worker-%d.batch_size" % (prefix, worker_id), fresh=True
         )
         env.metrics.gauge(
-            "p2kvs.worker-%d.queue_depth" % worker_id, lambda: len(self.queue)
+            "%s.worker-%d.queue_depth" % (prefix, worker_id),
+            lambda: len(self.queue),
         )
         #: gsn -> pre-transaction snapshot seq, for read-committed isolation:
         #: while a transaction's updates are applied-but-uncommitted on this
@@ -73,7 +81,7 @@ class Worker:
         self._proc = None
 
     def start(self) -> None:
-        self._proc = self.env.sim.spawn(self._loop(), "worker-%d" % self.worker_id)
+        self._proc = self.env.sim.spawn(self._loop(), self.queue.name)
 
     def submit(self, request: Request) -> None:
         request.submit_time = self.env.sim.now

@@ -168,7 +168,7 @@ class P2KVSSystem:
     def __init__(self, kvs: P2KVS, env: Env, async_window: int = 0):
         self.kvs = kvs
         self.env = env
-        self.name = "p2kvs-%d" % len(kvs.workers)
+        self.name = "%s-%d" % (kvs.name, len(kvs.workers))
         self.async_window = async_window
         self._window = (
             Semaphore(env.sim, async_window, "async-window")
@@ -186,6 +186,8 @@ class P2KVSSystem:
         obm_cap: int = 32,
         async_window: int = 0,
         scan_strategy: str = "parallel",
+        name: str = "p2kvs",
+        pin_base: int = 0,
     ) -> Generator:
         kvs = yield from P2KVS.open(
             env,
@@ -194,6 +196,8 @@ class P2KVSSystem:
             obm=obm,
             obm_cap=obm_cap,
             scan_strategy=scan_strategy,
+            name=name,
+            pin_base=pin_base,
         )
         return cls(kvs, env, async_window)
 

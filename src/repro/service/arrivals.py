@@ -1,0 +1,109 @@
+"""Open-loop arrival processes: when the next request hits the front door.
+
+Closed-loop harnesses (``run_closed_loop``) hide overload: a slow server
+slows its own clients down.  The service plane instead injects requests on
+a schedule that does *not* depend on service times — an open-loop
+population — so queueing delay and load shedding become visible exactly as
+they would to real clients.
+
+Two processes:
+
+* :class:`PoissonArrivals` — homogeneous Poisson at ``rate`` ops/second
+  (i.i.d. exponential gaps), the memoryless steady-state model.
+* :class:`DiurnalArrivals` — a non-homogeneous Poisson process whose rate
+  swings sinusoidally between a trough and ``peak_rate`` over ``period``
+  seconds (a compressed day/night cycle), sampled with Lewis–Shedler
+  thinning: draw candidates from a homogeneous process at the peak rate
+  and accept each with probability ``rate(t) / peak_rate``.
+
+Both consume a private seeded ``random.Random`` and emit *absolute*
+arrival times (seconds from the start of the run), so a schedule is a pure
+function of ``(process parameters, seed, n)`` — the determinism the
+byte-identical SLO report relies on.
+"""
+
+import math
+import random
+from typing import Iterator
+
+__all__ = ["DiurnalArrivals", "PoissonArrivals"]
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals at ``rate`` ops/second."""
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, seed: int = 42):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.seed = seed
+
+    def times(self, n: int) -> Iterator[float]:
+        """Yield ``n`` absolute arrival times, strictly increasing."""
+        rng = random.Random(self.seed)
+        now = 0.0
+        for _ in range(n):
+            now += rng.expovariate(self.rate)
+            yield now
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "rate": self.rate, "seed": self.seed}
+
+
+class DiurnalArrivals:
+    """Sinusoidal day/night rate via Lewis–Shedler thinning.
+
+    ``rate(t)`` starts at the trough, peaks at ``period / 2`` and returns
+    to the trough at ``period``:
+
+    ``rate(t) = trough + (peak - trough) * (1 - cos(2*pi*t/period)) / 2``
+
+    with ``trough = trough_fraction * peak_rate``.
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        peak_rate: float,
+        period: float,
+        trough_fraction: float = 0.2,
+        seed: int = 42,
+    ):
+        if peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not (0.0 <= trough_fraction <= 1.0):
+            raise ValueError("trough_fraction must be in [0, 1]")
+        self.peak_rate = peak_rate
+        self.period = period
+        self.trough_fraction = trough_fraction
+        self.seed = seed
+
+    def rate_at(self, t: float) -> float:
+        trough = self.trough_fraction * self.peak_rate
+        swing = self.peak_rate - trough
+        return trough + swing * (1.0 - math.cos(2.0 * math.pi * t / self.period)) / 2.0
+
+    def times(self, n: int) -> Iterator[float]:
+        """Yield ``n`` accepted arrival times via thinning."""
+        rng = random.Random(self.seed)
+        now = 0.0
+        emitted = 0
+        while emitted < n:
+            now += rng.expovariate(self.peak_rate)
+            if rng.random() * self.peak_rate <= self.rate_at(now):
+                emitted += 1
+                yield now
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "peak_rate": self.peak_rate,
+            "period": self.period,
+            "trough_fraction": self.trough_fraction,
+            "seed": self.seed,
+        }

@@ -1,0 +1,86 @@
+"""The partition directory: partition id → shard id, plus the move log.
+
+This is the service plane's single source of placement truth (Snippet 3's
+"partition directory/metadata").  The router consults it on every request;
+``move_partition`` is the *metadata half* of the manual rebalance
+primitive — :meth:`repro.service.plane.ServicePlane.move_partition` wraps
+it with the data copy and the source-lane quiesce that make the move safe
+under live traffic.
+
+Placement starts round-robin (``partition % n_shards``), so every shard
+owns the same number of partitions until an operator moves one.  Every
+move is appended to :attr:`moves` and bumps :attr:`version`, giving the
+SLO report a deterministic audit trail.
+"""
+
+from typing import Dict, List, Tuple
+
+__all__ = ["PartitionDirectory"]
+
+
+class PartitionDirectory:
+    """Maps each of ``n_partitions`` partition ids onto one of ``n_shards``."""
+
+    def __init__(self, n_partitions: int, n_shards: int):
+        if n_partitions < n_shards:
+            raise ValueError(
+                "need at least one partition per shard "
+                "(%d partitions < %d shards)" % (n_partitions, n_shards)
+            )
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_partitions = n_partitions
+        self.n_shards = n_shards
+        self._assignment: List[int] = [p % n_shards for p in range(n_partitions)]
+        #: monotone placement version; bumped by every successful move.
+        self.version = 0
+        #: audit trail: (version, partition, source shard, target shard).
+        self.moves: List[Tuple[int, int, int, int]] = []
+
+    def shard_of(self, partition: int) -> int:
+        return self._assignment[partition]
+
+    def partitions_on(self, shard: int) -> List[int]:
+        """All partition ids currently placed on ``shard``, ascending."""
+        return [p for p, s in enumerate(self._assignment) if s == shard]
+
+    def move_partition(self, partition: int, target_shard: int) -> int:
+        """Reassign ``partition`` to ``target_shard``; returns the source.
+
+        Metadata only — callers that need the keys to follow the partition
+        (anyone serving live reads) must go through
+        ``ServicePlane.move_partition``, which copies the data first.
+        """
+        if not (0 <= partition < self.n_partitions):
+            raise ValueError("partition %r out of range" % (partition,))
+        if not (0 <= target_shard < self.n_shards):
+            raise ValueError("shard %r out of range" % (target_shard,))
+        source = self._assignment[partition]
+        if source == target_shard:
+            raise ValueError(
+                "partition %d already on shard %d" % (partition, target_shard)
+            )
+        self._assignment[partition] = target_shard
+        self.version += 1
+        self.moves.append((self.version, partition, source, target_shard))
+        return source
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic summary for the SLO report."""
+        return {
+            "n_partitions": self.n_partitions,
+            "n_shards": self.n_shards,
+            "version": self.version,
+            "moves": [
+                {
+                    "version": version,
+                    "partition": partition,
+                    "from_shard": source,
+                    "to_shard": target,
+                }
+                for version, partition, source, target in self.moves
+            ],
+            "partitions_per_shard": [
+                len(self.partitions_on(s)) for s in range(self.n_shards)
+            ],
+        }

@@ -109,16 +109,27 @@ def _open_p2kvs(
     obm_cap: int = 32,
     async_window: int = 0,
     scan_strategy: str = "parallel",
+    instance: str = "p2kvs",
+    pin_base: int = 0,
+    sync_wal: bool = False,
     **_ignored,
 ):
+    # ``instance`` namespaces the deployment's on-disk paths, metric prefixes
+    # and thread/track names, and ``pin_base`` offsets its workers' core
+    # pins, so several deployments (the service plane's shards) can share
+    # one simulated machine without colliding.  ``sync_wal`` overrides the
+    # paper's async logging — the service plane turns it on so a shard only
+    # acknowledges durable writes.
     return P2KVSSystem.open(
         env,
         n_workers=workers,
-        adapter_open=adapter_factory(flavor, **_BENCH_SHAPE),
+        adapter_open=adapter_factory(flavor, sync_wal=sync_wal, **_BENCH_SHAPE),
         obm=obm,
         obm_cap=obm_cap,
         async_window=async_window,
         scan_strategy=scan_strategy,
+        name=instance,
+        pin_base=pin_base,
     )
 
 
