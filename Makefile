@@ -4,9 +4,10 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-regress bench-regress-update lint sanitize \
-	perturb-smoke critpath-smoke faults-smoke serve-smoke ci trace-demo \
-	stats-demo critpath-demo whatif-demo clean
+.PHONY: test bench bench-regress bench-regress-update lint check \
+	check-update-baseline sanitize perturb-smoke critpath-smoke \
+	faults-smoke serve-smoke ci trace-demo stats-demo critpath-demo \
+	whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -24,10 +25,23 @@ bench-regress:
 bench-regress-update:
 	$(PY) -m benchmarks.regress --update
 
-# Determinism lint: AST rules over src/ (wall clocks, global RNGs, unordered
-# iteration, lock pairing, condvar discipline).  See docs/ANALYSIS.md.
+# Determinism lint only: the per-module AST rules (wall clocks, global RNGs,
+# unordered iteration, lock pairing, condvar discipline).  Delegates to the
+# unified pipeline; `make check` runs this plus the whole-program flow
+# checkers.  See docs/ANALYSIS.md.
 lint:
 	$(PY) -m repro.tools.lint src
+
+# The full static analysis: lint + the interprocedural flow checkers (lock
+# discipline, determinism taint, status contract) over the project call
+# graph.  Fails on any finding not fixed, suppressed inline, or recorded in
+# analysis-baseline.json; writes a SARIF report for code-scanning UIs.
+check:
+	$(PY) -m repro.tools.check src --sarif results/check-report.sarif
+
+# Regrandfather the current findings (after triage) into the baseline.
+check-update-baseline:
+	$(PY) -m repro.tools.check src --update-baseline
 
 # The full test suite with lock-order + data-race sanitizers attached to
 # every Simulator (slower; any finding fails the test).
@@ -47,55 +61,58 @@ perturb-smoke:
 
 # Critical-path / what-if smoke: a pinned fillrandom run must produce a
 # non-empty blame table and speedup predictions within tolerance of the
-# measured re-runs (see docs/CRITPATH.md).  Writes whatif-report.{txt,json}.
+# measured re-runs (see docs/CRITPATH.md).  Writes
+# results/whatif-report.{txt,json}.
 critpath-smoke:
 	$(PY) -m repro.tools.whatif --system p2kvs --workers 8 --threads 8 \
 	    --device sata --value-size 4096 --num 2000 \
 	    --experiments wal-write-0.8x,channels+1 --check \
-	    --out whatif-report.txt --json whatif-report.json
+	    --out results/whatif-report.txt --json results/whatif-report.json
 
 # Fault-injection smoke: the crash/fault campaign must pass every scenario
 # with zero oracle violations, and the report must be byte-identical across
-# two runs with the same --fault-seed.  Writes faults-report.json (kept for
-# the CI artifact).  See docs/FAULTS.md.
+# two runs with the same --fault-seed.  Writes results/faults-report.json
+# (kept for the CI artifact).  See docs/FAULTS.md.
 faults-smoke:
-	@$(PY) -m repro.tools.faultbench --fault-seed 7 --out faults-report.json
-	@$(PY) -m repro.tools.faultbench --fault-seed 7 --out .faults-rerun.json \
-	    > /dev/null
-	@cmp faults-report.json .faults-rerun.json \
+	@$(PY) -m repro.tools.faultbench --fault-seed 7 \
+	    --out results/faults-report.json
+	@$(PY) -m repro.tools.faultbench --fault-seed 7 \
+	    --out results/.faults-rerun.json > /dev/null
+	@cmp results/faults-report.json results/.faults-rerun.json \
 	    && echo "faults-smoke: byte-identical report across 2 runs" \
 	    || (echo "faults-smoke: reports differ across reruns" >&2; exit 1)
-	@rm -f .faults-rerun.json
+	@rm -f results/.faults-rerun.json
 
 # Service-plane smoke: a 1-shard and a 4-shard scenario must produce
 # byte-identical SLO reports across a schedule-perturbed rerun (the report
 # is a pure function of the flags; see docs/SERVICE.md).  Writes
-# serve-report.{json,csv} (kept for the CI artifact).
+# results/serve-report.{json,csv} (kept for the CI artifact).
 SERVE_SMOKE_ARGS = --ops 300 --rate 600000 --key-space 200 --value-size 64 \
     --partitions 8 --queue-cap 16 --dispatchers 2 --workers 2 --cores 16
 
 serve-smoke:
 	@$(PY) -m repro.tools.serve --scenario uniform --shards 1 \
-	    $(SERVE_SMOKE_ARGS) --json .serve-1shard.json > /dev/null
+	    $(SERVE_SMOKE_ARGS) --json results/.serve-1shard.json > /dev/null
 	@$(PY) -m repro.tools.serve --scenario uniform --shards 1 \
-	    $(SERVE_SMOKE_ARGS) --schedule-seed 7 --json .serve-1shard-rerun.json \
-	    > /dev/null
-	@cmp .serve-1shard.json .serve-1shard-rerun.json \
+	    $(SERVE_SMOKE_ARGS) --schedule-seed 7 \
+	    --json results/.serve-1shard-rerun.json > /dev/null
+	@cmp results/.serve-1shard.json results/.serve-1shard-rerun.json \
 	    && echo "serve-smoke: 1-shard report identical under perturbation" \
 	    || (echo "serve-smoke: 1-shard reports differ" >&2; exit 1)
 	@$(PY) -m repro.tools.serve --scenario hotkey --shards 4 \
-	    $(SERVE_SMOKE_ARGS) --json serve-report.json --csv serve-report.csv \
-	    > /dev/null
+	    $(SERVE_SMOKE_ARGS) --json results/serve-report.json \
+	    --csv results/serve-report.csv > /dev/null
 	@$(PY) -m repro.tools.serve --scenario hotkey --shards 4 \
-	    $(SERVE_SMOKE_ARGS) --schedule-seed 7 --json .serve-rerun.json \
-	    > /dev/null
-	@cmp serve-report.json .serve-rerun.json \
+	    $(SERVE_SMOKE_ARGS) --schedule-seed 7 \
+	    --json results/.serve-rerun.json > /dev/null
+	@cmp results/serve-report.json results/.serve-rerun.json \
 	    && echo "serve-smoke: 4-shard report identical under perturbation" \
 	    || (echo "serve-smoke: 4-shard reports differ" >&2; exit 1)
-	@rm -f .serve-1shard.json .serve-1shard-rerun.json .serve-rerun.json
+	@rm -f results/.serve-1shard.json results/.serve-1shard-rerun.json \
+	    results/.serve-rerun.json
 
-# What CI runs (see .github/workflows/ci.yml).
-ci: lint test perturb-smoke critpath-smoke faults-smoke serve-smoke bench-regress
+# What CI runs (see .github/workflows/ci.yml).  `check` subsumes `lint`.
+ci: check test perturb-smoke critpath-smoke faults-smoke serve-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -131,7 +148,9 @@ clean:
 	rm -f trace-demo.json quickstart-trace.json .perturb-*.out
 	rm -f BENCH_p2kvs.json stats-demo.json stats-demo.prom stats-demo.csv
 	rm -f critpath-demo.json critpath-demo-trace.json
-	rm -f whatif-report.txt whatif-report.json
-	rm -f faults-report.json .faults-rerun.json
-	rm -f serve-report.json serve-report.csv .serve-*.json
+	rm -f results/whatif-report.txt results/whatif-report.json
+	rm -f results/faults-report.json results/.faults-rerun.json
+	rm -f results/serve-report.json results/serve-report.csv \
+	    results/.serve-*.json
+	rm -f results/check-report.sarif
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

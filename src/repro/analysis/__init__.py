@@ -11,21 +11,46 @@ Two halves, one goal — keep the reproduction trustworthy:
   vector-clock happens-before data-race detector.
 * :mod:`repro.analysis.perturb` — seeded schedule perturbation: shuffles
   same-time event delivery and asserts results are schedule-independent.
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.flow` — the
+  whole-program pass (``python -m repro.tools.check``): a project symbol
+  table and call graph feeding three interprocedural checkers — lock
+  discipline (static lock-order cycles, blocking while locked),
+  determinism taint (source→sink dataflow with reported paths), and the
+  KVStatus/CrashTriggered/retry error contract.
+* :mod:`repro.analysis.report` — the shared output contract: deterministic
+  text/JSON/SARIF rendering and the committed-baseline machinery.
 """
 
+from repro.analysis.callgraph import Project, load_project
+from repro.analysis.flow import (
+    FLOW_CHECKERS,
+    FlowChecker,
+    analyze_paths,
+    analyze_project,
+    flow_rules,
+    register_flow,
+)
 from repro.analysis.lint import Diagnostic, LintRule, RULES, lint_paths, lint_source, register
 from repro.analysis.perturb import run_perturbed
 from repro.analysis.sanitizer import Sanitizer, SanitizerError, install_sanitizer
 
 __all__ = [
     "Diagnostic",
+    "FLOW_CHECKERS",
+    "FlowChecker",
     "LintRule",
+    "Project",
     "RULES",
     "Sanitizer",
     "SanitizerError",
+    "analyze_paths",
+    "analyze_project",
+    "flow_rules",
     "install_sanitizer",
     "lint_paths",
     "lint_source",
+    "load_project",
     "register",
+    "register_flow",
     "run_perturbed",
 ]

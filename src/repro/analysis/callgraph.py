@@ -1,0 +1,475 @@
+"""Project-wide symbol table and call graph for the static flow analyses.
+
+The interprocedural checkers in :mod:`repro.analysis.flow` need one thing
+the per-module lint cannot provide: *who calls whom*.  This module parses
+every source file once (reusing :class:`~repro.analysis.lint.ModuleUnderLint`
+so the suppression tables come along for free) and builds:
+
+* a **symbol table** — every module-level function, every class (with its
+  declared bases), every method;
+* a **type sketch** — a deliberately small flow-insensitive inference
+  fixpoint that types ``self.attr`` fields, locals, function returns and
+  parameters from constructor calls: ``self.f = Lock(...)``, factory
+  returns (``open_file() -> VirtualFile``), ``return cls(...)`` in
+  classmethods, and call-site argument types (a parameter typed the same
+  way by every resolved caller inherits that class; disagreeing callers
+  void the entry);
+* a **call graph** — for each function, the resolved callee of every call
+  site in its body.
+
+Resolution is conservative and purely syntactic:
+
+* ``f(...)`` — the local module's ``f``, or whatever ``from m import f`` /
+  ``import m`` bound the name to;
+* ``self.m(...)`` / ``cls.m(...)`` — method ``m`` on the enclosing class
+  or, walking the declared bases, the nearest ancestor defining it;
+* ``Cls.m(...)`` / ``obj.m(...)`` where ``obj``'s class is known from the
+  type sketch — that class's ``m``;
+* ``a.b.m(...)`` with an unknown receiver — resolved only when exactly one
+  class in the project defines a method ``m`` (unique-name fallback);
+  otherwise the call site stays unresolved and is counted in
+  :meth:`Project.stats`.
+
+Everything is deterministic: modules, classes and functions are visited in
+sorted order, type entries are first-writer-wins under that order, and all
+containers that feed diagnostics are sorted.
+"""
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import ModuleUnderLint, _dotted, _module_name
+
+__all__ = ["CallSite", "ClassInfo", "FunctionInfo", "Project", "load_project"]
+
+#: type-sketch fixpoint cap; inference chains in this tree are short.
+_MAX_TYPE_PASSES = 8
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str          # repro.engine.db.LSMEngine.put
+    module: str            # repro.engine.db
+    path: str
+    node: ast.AST          # FunctionDef / AsyncFunctionDef
+    class_name: Optional[str] = None   # qualified class (module.Class) or None
+    #: positional parameter names, ``self`` included for methods.
+    params: Tuple[str, ...] = ()
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, declared bases, typed attributes."""
+
+    qualname: str                      # repro.engine.db.LSMEngine
+    module: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()        # base names as written (resolved lazily)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: inferred ``self.attr`` types: attr -> qualified class name.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: caller -> callee at a source location."""
+
+    caller: str
+    callee: str
+    lineno: int
+    col: int
+
+
+class Project:
+    """The parsed source tree: symbol table, type sketch, call graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleUnderLint] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module -> local name -> dotted target ("repro.sim.sync.Lock", ...)
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: caller qualname -> sorted list of CallSite
+        self.calls: Dict[str, List[CallSite]] = {}
+        #: method name -> sorted list of class qualnames defining it
+        self._method_index: Dict[str, List[str]] = {}
+        #: function qualname -> qualified class its return value constructs
+        self.func_return_class: Dict[str, str] = {}
+        #: (function qualname, param index) -> class, or None on conflict
+        self.param_class: Dict[Tuple[str, int], Optional[str]] = {}
+        self._local_types: Dict[str, Dict[str, str]] = {}
+        self._n_callsites = 0
+        self._n_resolved = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_modules(cls, modules: Iterable[ModuleUnderLint]) -> "Project":
+        project = cls()
+        for module in sorted(modules, key=lambda m: m.module):
+            project.modules[module.module] = module
+        for name in sorted(project.modules):
+            project._index_module(project.modules[name])
+        for name in project._method_index:
+            project._method_index[name].sort()
+        project._infer_types()
+        for qualname in sorted(project.functions):
+            project._build_calls(project.functions[qualname])
+        return project
+
+    def _index_module(self, module: ModuleUnderLint) -> None:
+        imports: Dict[str, str] = {}
+        self.imports[module.module] = imports
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        node.module + "." + alias.name
+                    )
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_info=None)
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qualname=module.module + "." + node.name,
+                    module=module.module,
+                    node=node,
+                    bases=tuple(
+                        _dotted(b) for b in node.bases if _dotted(b)
+                    ),
+                )
+                self.classes[info.qualname] = info
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(module, child, class_info=info)
+
+    def _add_function(
+        self,
+        module: ModuleUnderLint,
+        node: ast.AST,
+        class_info: Optional[ClassInfo],
+    ) -> None:
+        if class_info is not None:
+            qualname = class_info.qualname + "." + node.name
+        else:
+            qualname = module.module + "." + node.name
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.module,
+            path=module.path,
+            node=node,
+            class_name=class_info.qualname if class_info else None,
+            params=tuple(a.arg for a in node.args.args),
+        )
+        self.functions[qualname] = info
+        if class_info is not None:
+            class_info.methods[node.name] = info
+            self._method_index.setdefault(node.name, []).append(
+                class_info.qualname
+            )
+
+    def _resolve_name(self, dotted: str, module: str) -> str:
+        """Map a dotted name as written to a project-qualified name."""
+        head, _, rest = dotted.partition(".")
+        imports = self.imports.get(module, {})
+        if head in imports:
+            target = imports[head]
+            return target + ("." + rest if rest else "")
+        local = module + "." + dotted
+        if local in self.classes or local in self.functions:
+            return local
+        return dotted
+
+    # ------------------------------------------------------------------
+    # type sketch
+    # ------------------------------------------------------------------
+
+    def _infer_types(self) -> None:
+        quals = sorted(self.functions)
+        for qual in quals:
+            self._local_types[qual] = {}
+        for _ in range(_MAX_TYPE_PASSES):
+            changed = False
+            for qual in quals:
+                if self._infer_function_types(self.functions[qual]):
+                    changed = True
+            if not changed:
+                break
+
+    def _infer_function_types(self, func: FunctionInfo) -> bool:
+        locals_ = self._local_types[func.qualname]
+        changed = False
+        # Annotated parameters and call-site-agreed parameter types.
+        arg_nodes = list(func.node.args.args) + list(func.node.args.kwonlyargs)
+        for index, arg in enumerate(arg_nodes):
+            if arg.arg in locals_:
+                continue
+            inferred = None
+            if arg.annotation is not None:
+                name = _dotted(arg.annotation)
+                if name:
+                    resolved = self._resolve_name(name, func.module)
+                    if resolved in self.classes:
+                        inferred = resolved
+            if inferred is None:
+                inferred = self.param_class.get((func.qualname, index))
+            if inferred:
+                locals_[arg.arg] = inferred
+                changed = True
+        owner = (
+            self.classes.get(func.class_name) if func.class_name else None
+        )
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign):
+                cls_qual = self.expr_class(node.value, func)
+                if cls_qual is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id not in locals_:
+                            locals_[target.id] = cls_qual
+                            changed = True
+                    elif (
+                        owner is not None
+                        and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in owner.attr_types
+                    ):
+                        owner.attr_types[target.attr] = cls_qual
+                        changed = True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                cls_qual = self.expr_class(node.value, func)
+                if (
+                    cls_qual is not None
+                    and func.qualname not in self.func_return_class
+                ):
+                    self.func_return_class[func.qualname] = cls_qual
+                    changed = True
+            elif isinstance(node, ast.Call):
+                if self._note_param_types(node, func):
+                    changed = True
+        return changed
+
+    def _note_param_types(self, call: ast.Call, func: FunctionInfo) -> bool:
+        callee = self.resolve_call(call, func)
+        if callee is None:
+            return False
+        target = callee.qualname
+        # Constructors: type the __init__ parameters.
+        offset = 1 if callee.class_name is not None else 0
+        changed = False
+        for pos, arg in enumerate(call.args):
+            cls_qual = self.expr_class(arg, func)
+            if cls_qual is None:
+                continue
+            key = (target, pos + offset)
+            if key not in self.param_class:
+                self.param_class[key] = cls_qual
+                changed = True
+            elif self.param_class[key] not in (cls_qual,):
+                if self.param_class[key] is not None:
+                    self.param_class[key] = None  # conflicting callers
+                    changed = True
+        return changed
+
+    def expr_class(self, expr: ast.AST, func: FunctionInfo) -> Optional[str]:
+        """The project class an expression evaluates to, when inferable."""
+        locals_ = self._local_types.get(func.qualname, {})
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and func.class_name is not None:
+                return func.class_name
+            return locals_.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.expr_class(expr.value, func)
+            if base is not None:
+                return self._attr_type(base, expr.attr)
+            return None
+        if isinstance(expr, (ast.YieldFrom, ast.Await)):
+            return self.expr_class(expr.value, func)
+        if isinstance(expr, ast.Call):
+            name = _dotted(expr.func)
+            if name == "cls" and func.class_name is not None:
+                return func.class_name
+            if name:
+                resolved = self._resolve_name(name, func.module)
+                if resolved in self.classes:
+                    return resolved
+            callee = self.resolve_call(expr, func)
+            if callee is not None:
+                if callee.name == "__init__" and callee.class_name is not None:
+                    return callee.class_name
+                return self.func_return_class.get(callee.qualname)
+        return None
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def class_mro(self, qualname: str) -> List[ClassInfo]:
+        """The class plus its resolvable ancestors, declaration order."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            info = self.classes[current]
+            out.append(info)
+            for base in info.bases:
+                stack.append(self._resolve_name(base, info.module))
+        return out
+
+    def lookup_method(self, class_qual: str, method: str) -> Optional[FunctionInfo]:
+        for info in self.class_mro(class_qual):
+            if method in info.methods:
+                return info.methods[method]
+        return None
+
+    def _attr_type(self, class_qual: str, attr: str) -> Optional[str]:
+        for info in self.class_mro(class_qual):
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def local_types(self, qualname: str) -> Dict[str, str]:
+        """The inferred local-variable types of one function."""
+        return self._local_types.get(qualname, {})
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        caller: FunctionInfo,
+        local_types: Optional[Dict[str, str]] = None,  # kept for API stability
+    ) -> Optional[FunctionInfo]:
+        """The single project function a call resolves to, or None."""
+        funcexpr = call.func
+        if isinstance(funcexpr, ast.Name):
+            resolved = self._resolve_name(funcexpr.id, caller.module)
+            if resolved in self.functions:
+                return self.functions[resolved]
+            # Constructor call: route to __init__ when we have it.
+            if resolved in self.classes:
+                return self.lookup_method(resolved, "__init__")
+            return None
+        if not isinstance(funcexpr, ast.Attribute):
+            return None
+        method = funcexpr.attr
+        recv = funcexpr.value
+        # self.m(...) / cls.m(...)
+        if isinstance(recv, ast.Name) and recv.id in ("self", "cls"):
+            if caller.class_name is not None:
+                return self.lookup_method(caller.class_name, method)
+            return None
+        recv_name = _dotted(recv)
+        if recv_name:
+            resolved = self._resolve_name(recv_name, caller.module)
+            # Cls.m(...)
+            if resolved in self.classes:
+                return self.lookup_method(resolved, method)
+            # module.m(...)
+            if resolved + "." + method in self.functions:
+                return self.functions[resolved + "." + method]
+        # obj.m(...) with a receiver the type sketch can class-ify.
+        recv_class = self.expr_class(recv, caller)
+        if recv_class is not None:
+            found = self.lookup_method(recv_class, method)
+            if found is not None:
+                return found
+        # Unique-name fallback: one project class defines this method.
+        owners = self._method_index.get(method, [])
+        if len(owners) == 1:
+            return self.lookup_method(owners[0], method)
+        return None
+
+    # ------------------------------------------------------------------
+    # call graph
+    # ------------------------------------------------------------------
+
+    def _build_calls(self, func: FunctionInfo) -> None:
+        sites: List[CallSite] = []
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            self._n_callsites += 1
+            callee = self.resolve_call(node, func)
+            if callee is None:
+                continue
+            self._n_resolved += 1
+            sites.append(
+                CallSite(
+                    caller=func.qualname,
+                    callee=callee.qualname,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+        sites.sort(key=lambda s: (s.lineno, s.col, s.callee))
+        self.calls[func.qualname] = sites
+
+    def callees(self, qualname: str) -> List[CallSite]:
+        return self.calls.get(qualname, [])
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        n_funcs = len(self.functions)
+        in_graph = sum(1 for q in self.functions if q in self.calls)
+        return {
+            "modules": len(self.modules),
+            "classes": len(self.classes),
+            "functions": n_funcs,
+            "functions_in_graph": in_graph,
+            "function_coverage": (in_graph / n_funcs) if n_funcs else 1.0,
+            "call_sites": self._n_callsites,
+            "resolved_call_sites": self._n_resolved,
+            "resolution_rate": (
+                self._n_resolved / self._n_callsites if self._n_callsites else 1.0
+            ),
+        }
+
+
+def _collect_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    return sorted(files)
+
+
+def load_project(paths: Sequence[str]) -> Project:
+    """Parse every ``.py`` under ``paths`` into a :class:`Project`."""
+    modules = []
+    for filename in _collect_files(paths):
+        with open(filename, "r") as f:
+            source = f.read()
+        modules.append(
+            ModuleUnderLint(source, _module_name(filename), filename)
+        )
+    return Project.from_modules(modules)

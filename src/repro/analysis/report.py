@@ -1,0 +1,224 @@
+"""Diagnostic rendering and baselines for the unified analysis pipeline.
+
+Everything ``python -m repro.tools.check`` emits goes through here, so the
+lint rules and the flow checkers share one output contract:
+
+* **text** — ``path:line:col: [rule] message``, sorted, byte-identical
+  across reruns;
+* **JSON** — the diagnostics plus per-rule counts and (optionally) the
+  call-graph stats, with sorted keys and no timestamps;
+* **SARIF 2.1.0** — for code-scanning UIs; one run, one result per
+  diagnostic, the rule catalogue in the tool driver;
+* **baselines** — a committed JSON file of grandfathered findings.  Entries
+  are matched by a *line-independent* fingerprint (path + rule + the
+  message with digit runs collapsed, plus an occurrence index), so pure
+  line drift does not invalidate a baseline while a genuinely new finding
+  in the same file does.
+"""
+
+import hashlib
+import json
+import re
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.lint import Diagnostic
+
+__all__ = [
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "write_baseline",
+]
+
+_DIGITS = re.compile(r"\d+")
+
+
+def _normalized(diagnostic: Diagnostic) -> str:
+    return "%s|%s|%s" % (
+        diagnostic.path,
+        diagnostic.rule,
+        _DIGITS.sub("#", diagnostic.message),
+    )
+
+
+def fingerprints(diagnostics: Sequence[Diagnostic]) -> List[str]:
+    """One stable fingerprint per diagnostic, order-aligned with the input.
+
+    Diagnostics that normalize identically (same file, same rule, same
+    digit-stripped message) are disambiguated with an occurrence index in
+    (path, line, col) order, so two instances of one pattern baseline as
+    two entries.
+    """
+    counts: Dict[str, int] = {}
+    out = []
+    for diagnostic in diagnostics:
+        norm = _normalized(diagnostic)
+        index = counts.get(norm, 0)
+        counts[norm] = index + 1
+        digest = hashlib.sha1(
+            ("%s|%d" % (norm, index)).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append(digest)
+    return out
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Fingerprint of a single diagnostic (occurrence index 0)."""
+    return fingerprints([diagnostic])[0]
+
+
+# ---------------------------------------------------------------------------
+# renderers
+# ---------------------------------------------------------------------------
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    return "\n".join(str(d) for d in diagnostics)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic],
+    graph_stats: Dict[str, float] = None,
+    baseline_matched: int = 0,
+    baseline_stale: Sequence[dict] = (),
+) -> str:
+    by_rule: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        by_rule[diagnostic.rule] = by_rule.get(diagnostic.rule, 0) + 1
+    payload = {
+        "diagnostics": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "rule": d.rule,
+                "message": d.message,
+                "fingerprint": fp,
+            }
+            for d, fp in zip(diagnostics, fingerprints(diagnostics))
+        ],
+        "summary": {
+            "total": len(diagnostics),
+            "by_rule": by_rule,
+            "baseline_matched": baseline_matched,
+            "baseline_stale": len(baseline_stale),
+        },
+    }
+    if graph_stats is not None:
+        payload["call_graph"] = graph_stats
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Iterable[Tuple[str, str]],
+) -> str:
+    """Minimal SARIF 2.1.0 — one run, the full rule catalogue, one result
+    per diagnostic with a line/column region."""
+    rule_list = sorted(dict(rules).items())
+    rule_index = {name: i for i, (name, _desc) in enumerate(rule_list)}
+    results = []
+    for diagnostic, fp in zip(diagnostics, fingerprints(diagnostics)):
+        results.append(
+            {
+                "ruleId": diagnostic.rule,
+                "ruleIndex": rule_index.get(diagnostic.rule, -1),
+                "level": "error",
+                "message": {"text": diagnostic.message},
+                "partialFingerprints": {"reproCheck/v1": fp},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": diagnostic.path},
+                            "region": {
+                                "startLine": diagnostic.line,
+                                "startColumn": diagnostic.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": name,
+                                "shortDescription": {"text": desc},
+                            }
+                            for name, desc in rule_list
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: str) -> List[dict]:
+    with open(path, "r") as f:
+        payload = json.load(f)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError("baseline %s: expected {'entries': [...]}" % path)
+    return list(payload["entries"])
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> None:
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": d.rule,
+            "path": d.path,
+            "message": d.message,
+        }
+        for d, fp in zip(diagnostics, fingerprints(diagnostics))
+    ]
+    with open(path, "w") as f:
+        json.dump({"version": 1, "entries": entries}, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], entries: Sequence[dict]
+) -> Tuple[List[Diagnostic], int, List[dict]]:
+    """Split findings into (new, n_matched, stale_baseline_entries).
+
+    A baseline entry matches at most one diagnostic; entries that match
+    nothing are *stale* — the finding they grandfathered has been fixed and
+    the entry should be removed (``--update-baseline``).
+    """
+    known = {}
+    for entry in entries:
+        known.setdefault(entry.get("fingerprint"), []).append(entry)
+    new: List[Diagnostic] = []
+    matched = 0
+    for diagnostic, fp in zip(diagnostics, fingerprints(diagnostics)):
+        bucket = known.get(fp)
+        if bucket:
+            bucket.pop()
+            matched += 1
+        else:
+            new.append(diagnostic)
+    stale = [entry for bucket in known.values() for entry in bucket]
+    stale.sort(key=lambda e: (e.get("path", ""), e.get("rule", ""), e.get("fingerprint", "")))
+    return new, matched, stale

@@ -223,7 +223,7 @@ class Process(Event):
                 edgelog.annotate(self, "process")
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+        except BaseException as exc:  # lint: disable=crash-swallowed  (kernel boundary: fail() re-raises at every waiter, _crash aborts the run)
             if self._callbacks:
                 self.fail(exc)
             else:

@@ -1,26 +1,30 @@
-"""Determinism lint CLI.
+"""Determinism lint CLI — a thin delegate to :mod:`repro.tools.check`.
 
 Usage::
 
     python -m repro.tools.lint [paths...]     # default: src
     python -m repro.tools.lint --list-rules
 
-Exit status 1 when any diagnostic is emitted (``make lint`` fails CI).
-Suppress a single finding with ``# lint: disable=<rule>  (reason)`` on the
-offending line; see docs/ANALYSIS.md for the rule catalogue.
+Historically this ran the per-module AST rules on its own; the diagnostic
+pipeline is now unified, so this simply invokes ``python -m
+repro.tools.check --lint-only`` with the same paths.  One pipeline, one
+exit-code convention: 0 clean, 1 on findings, 2 on bad usage.  Run
+``python -m repro.tools.check`` for the full analysis (lint + the
+whole-program flow checkers); see docs/ANALYSIS.md.
 """
 
 import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.lint import RULES, lint_paths
+from repro.tools import check
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.lint",
-        description="determinism lint for the simulation stack",
+        description="determinism lint for the simulation stack "
+        "(delegates to repro.tools.check --lint-only)",
     )
     parser.add_argument(
         "paths",
@@ -43,27 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    forwarded: List[str] = ["--lint-only"]
     if args.list_rules:
-        width = max(len(rule.name) for rule in RULES)
-        for rule in sorted(RULES, key=lambda r: r.name):
-            scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
-            print("%-*s  %s  [%s]" % (width, rule.name, rule.description, scope))
-        return 0
-    diagnostics = lint_paths(args.paths)
-    if args.rule:
-        wanted = set(args.rule)
-        diagnostics = [d for d in diagnostics if d.rule in wanted]
-    for diagnostic in diagnostics:
-        print(diagnostic)
-    if diagnostics:
-        print(
-            "%d finding(s); suppress with '# lint: disable=<rule>  (reason)' "
-            "only when the pattern is provably safe" % len(diagnostics),
-            file=sys.stderr,
-        )
-        return 1
-    print("lint: clean (%d rules)" % len(RULES))
-    return 0
+        forwarded.append("--list-rules")
+    for rule in args.rule or ():
+        forwarded.extend(["--rule", rule])
+    forwarded.extend(args.paths)
+    return check.main(forwarded)
 
 
 if __name__ == "__main__":
