@@ -6,8 +6,8 @@ export PYTHONPATH := src
 
 .PHONY: test bench bench-regress bench-regress-update lint check \
 	check-update-baseline sanitize perturb-smoke critpath-smoke \
-	faults-smoke serve-smoke ci trace-demo stats-demo critpath-demo \
-	whatif-demo clean
+	faults-smoke serve-smoke monitor-smoke ci trace-demo stats-demo \
+	critpath-demo whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -111,8 +111,30 @@ serve-smoke:
 	@rm -f results/.serve-1shard.json results/.serve-1shard-rerun.json \
 	    results/.serve-rerun.json
 
+# Health-monitor smoke (docs/MONITOR.md): a clean monitored scenario must
+# raise zero page alerts and produce a byte-identical monitor document
+# under schedule perturbation; a fault-injected run must detect its fault
+# with finite MTTD.  Writes results/monitor-report.json and
+# results/detection_report.json (kept for the CI artifact).
+MONITOR_SMOKE_ARGS = --scenario uniform --ops 400
+
+monitor-smoke:
+	@$(PY) -m repro.tools.monitor $(MONITOR_SMOKE_ARGS) --expect-clean \
+	    --json results/.monitor-clean.json > /dev/null
+	@$(PY) -m repro.tools.monitor $(MONITOR_SMOKE_ARGS) --expect-clean \
+	    --schedule-seed 7 --json results/.monitor-rerun.json > /dev/null
+	@cmp results/.monitor-clean.json results/.monitor-rerun.json \
+	    && echo "monitor-smoke: clean document identical under perturbation" \
+	    || (echo "monitor-smoke: documents differ across seeds" >&2; exit 1)
+	@$(PY) -m repro.tools.monitor $(MONITOR_SMOKE_ARGS) --fault-rate 0.02 \
+	    --json results/monitor-report.json \
+	    --detection-out results/detection_report.json \
+	    | tail -n 3
+	@rm -f results/.monitor-clean.json results/.monitor-rerun.json
+
 # What CI runs (see .github/workflows/ci.yml).  `check` subsumes `lint`.
-ci: check test perturb-smoke critpath-smoke faults-smoke serve-smoke bench-regress
+ci: check test perturb-smoke critpath-smoke faults-smoke serve-smoke \
+	monitor-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in
@@ -152,5 +174,7 @@ clean:
 	rm -f results/faults-report.json results/.faults-rerun.json
 	rm -f results/serve-report.json results/serve-report.csv \
 	    results/.serve-*.json
+	rm -f results/monitor-report.json results/detection_report.json \
+	    results/.monitor-*.json
 	rm -f results/check-report.sarif
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

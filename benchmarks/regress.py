@@ -19,6 +19,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional
 
 from repro.tools import dbbench, ycsb
@@ -64,6 +65,7 @@ def run_matrix(stats_dir: Optional[str] = None) -> Dict[str, dict]:
     results: Dict[str, dict] = {}
     for name, tool, argv in MATRIX:
         stats_base = os.path.join(stats_dir, name) if stats_dir else name
+        wall_start = time.perf_counter()
         if tool == "dbbench":
             args = dbbench.build_parser().parse_args(argv)
             raw = dbbench.run_benchmark("fillrandom" if name == "fill" else "readrandom",
@@ -71,14 +73,24 @@ def run_matrix(stats_dir: Optional[str] = None) -> Dict[str, dict]:
         else:
             args = ycsb.build_parser().parse_args(argv)
             raw = ycsb.run_workload("A", args, stats_base=stats_base)
+        wall = time.perf_counter() - wall_start
+        # Wall-clock throughput of the *simulator itself* (simulated ops per
+        # real second).  Record-only, never gated: it varies with the host,
+        # but a sustained collapse across CI runs flags a simulator perf
+        # regression that the deterministic qps number cannot see.
+        n_ops = raw["qps"] * raw["simulated_seconds"]
         results[name] = {
             "qps": raw["qps"],
             "p99_latency_us": raw["p99_latency_us"],
             "simulated_seconds": raw["simulated_seconds"],
+            "wall_seconds": round(wall, 3),
+            "wall_ops_per_s": round(n_ops / wall, 1) if wall > 0 else None,
             "counters": _key_counters(raw.get("counters", {})),
             "events": raw.get("events", {}),
         }
-        print("%-8s %12.0f qps   p99 %8.1f us" % (name, raw["qps"], raw["p99_latency_us"]))
+        print("%-8s %12.0f qps   p99 %8.1f us   wall %6.2f s (%.0f ops/s real)"
+              % (name, raw["qps"], raw["p99_latency_us"], wall,
+                 results[name]["wall_ops_per_s"] or 0.0))
     return results
 
 

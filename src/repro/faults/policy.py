@@ -44,6 +44,10 @@ class FaultPolicy:
         self.max_faults = max_faults
         #: label -> count of injected faults, for campaign reports.
         self.injected = {}
+        #: sim times of every injection decision, in submission order — the
+        #: detection ground truth the monitor's MTTD is scored against
+        #: (appended by the device at submit, which owns the clock).
+        self.injection_times = []
 
     def _count(self, label):
         self.injected[label] = self.injected.get(label, 0) + 1

@@ -21,11 +21,51 @@ __all__ = [
 
 _PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
 
+#: per-shard service metrics (``service.shard-3.completed``) become one
+#: Prometheus family with a ``shard`` label instead of N distinct names.
+_SHARD_NAME = re.compile(r"^service\.shard-(\d+)\.(.+)$")
+
 
 def _prom_name(name: str) -> str:
     """Metric names like ``engine.p2kvs/db-0.flushes`` -> Prometheus-legal
     ``p2kvs_engine_p2kvs_db_0_flushes``."""
     return "p2kvs_" + _PROM_BAD.sub("_", name)
+
+
+def _split_shard_series(values):
+    """Partition name->value rows into plain entries and per-shard families.
+
+    Returns ``(plain, families)`` where ``plain`` keeps the input's sorted
+    order and ``families`` maps the label-free raw name (``service.completed``)
+    to its ``[(shard_number, value), ...]`` series.
+    """
+    plain = []
+    families = {}
+    for name, value in values.items():
+        m = _SHARD_NAME.match(name)
+        if m is None:
+            plain.append((name, value))
+            continue
+        families.setdefault("service." + m.group(2), []).append(
+            (int(m.group(1)), value)
+        )
+    return plain, families
+
+
+def _emit_prom_section(lines, values, mtype):
+    """One exposition section (counters or gauges), shard families last."""
+    plain, families = _split_shard_series(values)
+    for name, value in plain:
+        prom = _prom_name(name)
+        lines.append("# HELP %s %s %s" % (prom, mtype, name))
+        lines.append("# TYPE %s %s" % (prom, mtype))
+        lines.append("%s %.17g" % (prom, value))
+    for raw in sorted(families):
+        prom = _prom_name(raw)
+        lines.append("# HELP %s %s %s (per shard)" % (prom, mtype, raw))
+        lines.append("# TYPE %s %s" % (prom, mtype))
+        for shard, value in sorted(families[raw]):
+            lines.append('%s{shard="%d"} %.17g' % (prom, shard, value))
 
 
 def snapshot_json(registry: StatsRegistry, indent: int = 2) -> str:
@@ -36,24 +76,20 @@ def snapshot_json(registry: StatsRegistry, indent: int = 2) -> str:
 def prometheus_text(registry: StatsRegistry) -> str:
     """Prometheus text exposition format (0.0.4).
 
-    Counters and gauges map directly; every :class:`LogHistogram` is emitted
-    as a native ``histogram`` — the full cumulative ``_bucket{le="..."}``
-    series over the log-spaced bounds plus the mandatory ``+Inf`` bucket
-    (which includes the overflow count, so it always equals ``_count``).
-    Sections and series are sorted by name, so the output of a deterministic
-    run is byte-identical across reruns.
+    Counters and gauges map directly, except the service plane's per-shard
+    metrics (``service.shard-3.completed``), which collapse into one family
+    per metric carrying a ``shard`` label — the idiomatic Prometheus shape,
+    so a dashboard can ``sum by (shard)`` instead of regex-matching names.
+    Every :class:`LogHistogram` is emitted as a native ``histogram`` — the
+    full cumulative ``_bucket{le="..."}`` series over the log-spaced bounds
+    plus the mandatory ``+Inf`` bucket (which includes the overflow count,
+    so it always equals ``_count``).  Sections and series are sorted by
+    name (labelled families after the plain names, series by shard number),
+    so the output of a deterministic run is byte-identical across reruns.
     """
     lines = []
-    for name, value in registry.counter_values().items():
-        prom = _prom_name(name)
-        lines.append("# HELP %s counter %s" % (prom, name))
-        lines.append("# TYPE %s counter" % prom)
-        lines.append("%s %.17g" % (prom, value))
-    for name, value in registry.gauge_values().items():
-        prom = _prom_name(name)
-        lines.append("# HELP %s gauge %s" % (prom, name))
-        lines.append("# TYPE %s gauge" % prom)
-        lines.append("%s %.17g" % (prom, value))
+    _emit_prom_section(lines, registry.counter_values(), "counter")
+    _emit_prom_section(lines, registry.gauge_values(), "gauge")
     for name in sorted(registry.histograms):
         hist = registry.histograms[name]
         prom = _prom_name(name)
@@ -74,9 +110,14 @@ def prometheus_text(registry: StatsRegistry) -> str:
 def timeseries_csv(sampler: Sampler) -> str:
     """The sampled gauge time series as CSV: ``time`` plus one column per
     gauge name (union across rows, sorted; gauges registered after the first
-    tick appear as empty cells in earlier rows)."""
+    tick appear as empty cells in earlier rows).  When the sampler's
+    retention cap evicted rows, a leading comment records how many — the
+    series silently starting late would misread as a quiet warm-up."""
     columns = sampler.column_names()
-    lines = [",".join(["time"] + columns)]
+    lines = []
+    if sampler.dropped:
+        lines.append("# dropped_samples=%d" % sampler.dropped)
+    lines.append(",".join(["time"] + columns))
     for t, row in sampler.samples:
         cells = ["%.9f" % t]
         for name in columns:

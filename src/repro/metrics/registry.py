@@ -227,19 +227,37 @@ class EventLog:
         token = registry.events.begin("write_stall", now, engine=name)
         ...
         registry.events.end(token, env.sim.now)
+
+    Retention is bounded: beyond ``max_entries`` begins, new occurrences
+    are counted in ``dropped`` instead of stored (tokens are list indices,
+    so eviction would dangle every outstanding token).  A long-running
+    service therefore caps event memory, and the drop count is surfaced in
+    every export (``snapshot()["events_dropped"]``) so silence about lost
+    events is impossible.
     """
 
-    __slots__ = ("entries",)
+    #: default retention — far above any test run, a real bound for serves.
+    DEFAULT_MAX_ENTRIES = 65536
 
-    def __init__(self):
+    __slots__ = ("entries", "max_entries", "dropped")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
         #: [kind, begin_time, end_time_or_None, detail_dict]
         self.entries: List[list] = []
+        self.max_entries = max_entries
+        #: occurrences discarded because the log was full.
+        self.dropped = 0
 
     def begin(self, kind: str, now: float, **detail) -> int:
+        if len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return -1
         self.entries.append([kind, now, None, detail])
         return len(self.entries) - 1
 
     def end(self, token: int, now: float) -> None:
+        if token < 0:  # the begin was dropped at the retention cap
+            return
         self.entries[token][2] = now
 
     def active_count(self, kind: Optional[str] = None) -> int:
@@ -358,4 +376,5 @@ class StatsRegistry:
             },
             "providers": self.provider_values(),
             "events": self.events.as_dicts(),
+            "events_dropped": self.events.dropped,
         }

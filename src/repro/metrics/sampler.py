@@ -18,24 +18,36 @@ generation counter makes start/stop re-entrant across sequential windows
 (preload vs measured run) without ever leaving two ticker processes alive.
 """
 
+from collections import deque
 from typing import Dict, List, Tuple
 
-__all__ = ["DEFAULT_INTERVAL", "Sampler", "install_stats"]
+__all__ = ["DEFAULT_INTERVAL", "DEFAULT_MAX_SAMPLES", "Sampler", "install_stats"]
 
 #: 10 ms of virtual time, the cadence the paper-style utilization plots need.
 DEFAULT_INTERVAL = 0.01
+
+#: retention bound: a multi-hour simulated serve cannot grow sampler memory
+#: without limit — the oldest rows are evicted and counted in ``dropped``.
+DEFAULT_MAX_SAMPLES = 200000
 
 
 class Sampler:
     """Periodic probe over ``env.metrics`` gauges."""
 
-    def __init__(self, env, interval: float = DEFAULT_INTERVAL):
+    def __init__(self, env, interval: float = DEFAULT_INTERVAL,
+                 max_samples: int = DEFAULT_MAX_SAMPLES):
         if interval <= 0:
             raise ValueError("sampler interval must be positive")
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
         self.env = env
         self.interval = interval
-        #: (sim_time, {gauge_name: value}) rows, in time order.
-        self.samples: List[Tuple[float, Dict[str, float]]] = []
+        self.max_samples = max_samples
+        #: (sim_time, {gauge_name: value}) rows, in time order (a ring:
+        #: the newest ``max_samples`` rows are kept, older ones dropped).
+        self.samples: deque = deque()
+        #: rows evicted at the retention cap (surfaced by the CSV export).
+        self.dropped = 0
         self._running = False
         self._generation = 0
 
@@ -58,10 +70,18 @@ class Sampler:
         self._running = False
 
     def sample_once(self) -> None:
-        """Take one snapshot immediately (also used by each tick)."""
+        """Take one snapshot immediately (also used by each tick).
+
+        At the retention cap the *oldest* row is evicted (unlike the event
+        log, nothing indexes sampler rows by position) so a long serve keeps
+        its most recent history; evictions are counted in ``dropped``.
+        """
         self.samples.append(
             (self.env.sim.now, self.env.metrics.gauge_values())
         )
+        while len(self.samples) > self.max_samples:
+            self.samples.popleft()
+            self.dropped += 1
 
     def _ticker(self, generation: int):
         # Late timeouts resume at the *end* of each instant, after every

@@ -73,12 +73,18 @@ def run_service_load(
     arrivals,
     rebalance_at: Optional[float] = None,
     rebalance_moves: int = 2,
+    monitor=None,
 ) -> dict:
     """Drive ``ops`` at the arrival process's schedule; returns run facts.
 
     ``rebalance_at`` (a fraction in (0, 1)) triggers the mid-run rebalance
     after that share of arrivals has been offered.  Returns a dict with the
     simulated makespan and the rebalance plan actually executed.
+
+    ``monitor`` (a :class:`~repro.monitor.HealthMonitor`) is bracketed
+    around the measured window: started at the driver's first instant — so
+    window edges are anchored to the load's t0, not the preload — and
+    stopped (final partial window flushed) once the plane is quiet.
     """
     schedule = list(arrivals.times(len(ops)))
     trigger = None
@@ -92,6 +98,8 @@ def run_service_load(
         # Arrival times are relative to the measured window's start (the
         # sim clock is already past zero after preload).
         t0 = env.sim.now
+        if monitor is not None:
+            monitor.start()
         rebalance_proc = None
         for i, (op, at) in enumerate(zip(ops, schedule)):
             if trigger is not None and i == trigger:
@@ -109,6 +117,8 @@ def run_service_load(
         if rebalance_proc is not None:
             moves = yield rebalance_proc
         yield from plane.wait_quiet()
+        if monitor is not None:
+            monitor.stop(flush=True)
         box["makespan"] = env.sim.now - t0
         box["moves"] = [
             {"partition": p, "from_shard": s, "to_shard": t} for p, s, t in moves

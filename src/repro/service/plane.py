@@ -154,6 +154,16 @@ class ServicePlane:
             raise ValueError(
                 "partition %d already on shard %d" % (partition, target_shard)
             )
+        # Migration windows go to the event log so the monitor (and any
+        # post-hoc report) can correlate shed spikes with rebalancing
+        # instead of mistaking them for overload.
+        token = self.env.metrics.events.begin(
+            "partition_migration",
+            self.env.sim.now,
+            partition=partition,
+            source=source_shard,
+            target=target_shard,
+        )
         self._migrating.add(partition)
         source_lane = self.lanes[source_shard]
         yield from source_lane.quiesce()
@@ -165,6 +175,7 @@ class ServicePlane:
         source_lane.release()
         self.counters.add("partitions_moved")
         self.counters.add("keys_migrated", copied)
+        self.env.metrics.events.end(token, self.env.sim.now)
         return copied
 
     def _copy_partition(
@@ -224,6 +235,38 @@ class ServicePlane:
             shard_load[target] += partition_load[partition]
             moves.append((partition, source, target))
         return moves
+
+    # -- health --------------------------------------------------------------
+
+    def health_snapshot(self) -> dict:
+        """Point-in-time per-shard and plane-level health rollup.
+
+        Pure registry/lane reads — safe at any instant, including after the
+        sim has stopped.  This is what the monitor's service attachment and
+        the serve report's ``health`` block are built from.
+        """
+        shards = []
+        for lane in self.lanes:
+            shards.append(
+                {
+                    "shard": lane.shard_id,
+                    "queue_depth": lane.queued,
+                    "max_queue_depth": lane.max_depth,
+                    "outstanding": lane.outstanding,
+                    "admitted": lane.counters.get("admitted"),
+                    "completed": lane.counters.get("completed"),
+                    "shed": lane.counters.get("shed"),
+                    "errors": lane.counters.get("errors"),
+                }
+            )
+        totals = {
+            key: sum(s[key] for s in shards)
+            for key in ("admitted", "completed", "shed", "errors", "outstanding")
+        }
+        totals["offered"] = self.counters.get("offered")
+        totals["partitions_moved"] = self.counters.get("partitions_moved")
+        totals["migrating_partitions"] = len(self._migrating)
+        return {"shards": shards, "totals": totals}
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -155,6 +155,10 @@ class StorageDevice:
         initiator = self.sim.current_process
         policy = self.fault_policy
         fault = policy.decide(kind, nbytes, category) if policy is not None else None
+        if fault is not None:
+            # Ground truth for detection scoring: when the fault entered the
+            # system, not when its symptom surfaced (see repro.monitor.score).
+            policy.injection_times.append(now)
         if self._free_channels:
             self._start(
                 self._free_channels.pop(), kind, nbytes, random, ev, category, now,

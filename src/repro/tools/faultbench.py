@@ -45,6 +45,12 @@ from repro.faults import (
     restore_durable_state,
     snapshot_durable_state,
 )
+from repro.monitor import (
+    attach_store_monitor,
+    ground_truth_from_env,
+    score_detection,
+    write_detection_report,
+)
 from repro.sim.device import OPTANE_905P, SATA_860PRO
 
 DEVICES = {"nvme": OPTANE_905P, "sata": SATA_860PRO}
@@ -201,14 +207,17 @@ def run_scenario(spec: dict, fault_seed: int) -> dict:
     policy = FaultPolicy(seed, **spec["policy"]) if "policy" in spec else None
     crash = CrashPoint(*spec["crash"]) if "crash" in spec else None
     plane_box = []
+    monitor = attach_store_monitor(env)
 
     def driver():
         store = yield from open_store(env)
         # Faults arm only after the (clean) open: the campaign injects into
         # a running workload; what recovery does with the damage is checked
-        # on the fresh env below.
+        # on the fresh env below.  The monitor starts at the same instant,
+        # so its window edges anchor to the workload, not the open.
         plane_box.append(install_faults(env, policy=policy, crash=crash,
                                         seed=seed))
+        monitor.start()
         procs = [
             env.sim.spawn(
                 _writer(env, shadow, tid, put_of(store), batch_of(store)),
@@ -217,6 +226,7 @@ def run_scenario(spec: dict, fault_seed: int) -> dict:
             for tid in range(N_THREADS)
         ]
         yield env.sim.all_of(procs)
+        monitor.stop(flush=True)
 
     env.sim.spawn(driver(), "fb-driver")
     crashed = False
@@ -225,6 +235,11 @@ def run_scenario(spec: dict, fault_seed: int) -> dict:
     except CrashTriggered:  # lint: disable=crash-swallowed  (the campaign driver: a triggered crash IS the scenario outcome being verified)
         crashed = True
     plane = plane_box[0]
+    if crashed:
+        # The machine died, its monitoring plane did not: synthesize the
+        # silence the scraper would observe so the watchdog can notice
+        # (docs/MONITOR.md, post-mortem windows).
+        monitor.finalize(env.sim.now + 8 * monitor.window)
     # Crash scenarios captured durable state synchronously at the site;
     # clean runs capture whatever the drained workload left flushed.
     durable = plane.snapshot or snapshot_durable_state(env.disk)
@@ -270,6 +285,9 @@ def run_scenario(spec: dict, fault_seed: int) -> dict:
         "recovered_keys": sum(1 for v in recovered.values() if v is not None),
         "fingerprint": "%08x" % (fingerprint & 0xFFFFFFFF),
         "violations": violations,
+        "detection": score_detection(
+            monitor, ground_truth_from_env(env), spec["name"]
+        ),
     }
     return report
 
@@ -294,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
         % len(SCENARIOS),
     )
     parser.add_argument("--out", metavar="PATH", help="write the JSON report")
+    parser.add_argument(
+        "--detection-out",
+        metavar="PATH",
+        help="write the monitor's detection scorecard (per-scenario "
+        "detected/MTTD/false-positives) as JSON",
+    )
     parser.add_argument("--list", action="store_true", help="list scenarios")
     return parser
 
@@ -316,13 +340,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     results = []
     failed = 0
+    undetected = 0
     for spec in specs:
         report = run_scenario(spec, args.fault_seed)
         results.append(report)
         ok = not report["violations"]
         failed += 0 if ok else 1
+        detection = report["detection"]
+        if detection["detected"] is False:
+            undetected += 1
+        if detection["detected"]:
+            seen = "mttd=%.3fms by %s" % (
+                detection["mttd_s"] * 1e3, detection["detected_by"])
+        elif detection["detected"] is None:
+            seen = "no-fault"
+        else:
+            seen = "UNDETECTED"
         print(
-            "%-34s %s  crash=%-16s acked=%-4d injected=%-3d recovered=%-4d fp=%s"
+            "%-34s %s  crash=%-16s acked=%-4d injected=%-3d recovered=%-4d "
+            "fp=%s  %s"
             % (
                 report["name"],
                 "PASS" if ok else "FAIL",
@@ -331,27 +367,57 @@ def main(argv: Optional[List[str]] = None) -> int:
                 sum(report["injected"].values()),
                 report["recovered_keys"],
                 report["fingerprint"],
+                seen,
             )
         )
         for violation in report["violations"]:
             print("    %s" % violation)
 
+    scored = [r["detection"] for r in results
+              if r["detection"]["detected"] is not None]
+    detection_summary = {
+        "n_scored": len(scored),
+        "n_detected": sum(1 for d in scored if d["detected"]),
+        "n_undetected": undetected,
+        "false_positives": sum(
+            r["detection"]["false_positives"] for r in results
+        ),
+        "max_mttd_s": max(
+            (d["mttd_s"] for d in scored if d["detected"]), default=None
+        ),
+    }
     campaign = {
         "fault_seed": args.fault_seed,
         "scenarios": results,
         "n_scenarios": len(results),
         "n_failed": failed,
+        "detection_summary": detection_summary,
     }
     if args.out:
         with open(args.out, "w") as f:
             f.write(json.dumps(campaign, sort_keys=True, indent=2))
             f.write("\n")
         print("wrote %s" % args.out)
+    if args.detection_out:
+        write_detection_report(
+            {
+                "fault_seed": args.fault_seed,
+                "scenarios": [r["detection"] for r in results],
+                "summary": detection_summary,
+            },
+            args.detection_out,
+        )
+        print("wrote %s" % args.detection_out)
     print(
-        "%d/%d scenarios passed"
-        % (len(results) - failed, len(results))
+        "%d/%d scenarios passed, %d/%d faults detected"
+        % (
+            len(results) - failed,
+            len(results),
+            detection_summary["n_detected"],
+            len(scored),
+        )
     )
-    return 1 if failed else 0
+    return 1 if failed or undetected else 0
 
 
 if __name__ == "__main__":

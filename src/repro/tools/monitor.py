@@ -1,0 +1,176 @@
+"""Health-monitor runner and replay: monitored scenarios from the CLI.
+
+Two modes::
+
+    # run one pinned serve scenario under the monitor and narrate it
+    python -m repro.tools.monitor --scenario uniform --expect-clean
+    python -m repro.tools.monitor --scenario hotkey --fault-rate 0.02 \
+        --json monitor.json --detection-out detection.json
+
+    # re-render a previously written monitor document
+    python -m repro.tools.monitor --replay monitor.json
+
+The run mode is a thin veneer over ``repro.tools.serve`` with the monitor
+always attached: it runs the scenario, prints the incident narrative, and
+checks expectations — ``--expect-clean`` fails the run if any page-severity
+alert fired, and a ``--fault-rate`` run fails if the injected fault went
+undetected.  Everything printed or written is deterministic: reruns and
+``--schedule-seed`` perturbations produce byte-identical documents, which
+``make monitor-smoke`` asserts on every CI run.  See docs/MONITOR.md.
+"""
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.monitor import render_narrative, write_detection_report
+from repro.tools import serve as serve_tool
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.monitor",
+        description="run a monitored service scenario, or replay a monitor "
+        "document (docs/MONITOR.md)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="re-render the narrative from a monitor JSON document instead "
+        "of running a scenario",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="uniform",
+        help="pinned serve scenario to run (default: uniform)",
+    )
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--ops", type=int, default=1500)
+    parser.add_argument("--rate", type=float, default=1000000.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--monitor-window-ms",
+        type=float,
+        default=0.1,
+        help="telemetry window in milliseconds of simulated time",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-IO transient fault probability; turns the run into a "
+        "scored detection exercise",
+    )
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="perturb same-time delivery order; the monitor document must "
+        "be byte-identical for every N",
+    )
+    parser.add_argument(
+        "--expect-clean",
+        action="store_true",
+        help="exit non-zero if any page-severity alert fired (the clean "
+        "pinned scenarios must raise none)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the monitor document (timeline + detection) as JSON",
+    )
+    parser.add_argument(
+        "--detection-out",
+        metavar="PATH",
+        help="write just the detection scorecard as JSON",
+    )
+    return parser
+
+
+def _replay(path: str) -> int:
+    with open(path) as fh:
+        document = json.load(fh)
+    print(render_narrative(document["health"], document.get("detection")))
+    return 0
+
+
+def _serve_argv(args) -> List[str]:
+    argv = [
+        "--scenario", args.scenario,
+        "--shards", str(args.shards),
+        "--ops", str(args.ops),
+        "--rate", repr(args.rate),
+        "--seed", str(args.seed),
+        "--monitor",
+        "--monitor-window-ms", repr(args.monitor_window_ms),
+    ]
+    if args.fault_rate > 0.0:
+        argv += ["--fault-rate", repr(args.fault_rate),
+                 "--fault-seed", str(args.fault_seed)]
+    if args.schedule_seed is not None:
+        argv += ["--schedule-seed", str(args.schedule_seed)]
+    return argv
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay:
+        return _replay(args.replay)
+
+    # Reuse the serve tool's scenario runner end to end (same defaults,
+    # same report) with the monitor attached.
+    serve_args = serve_tool.build_parser().parse_args(_serve_argv(args))
+    report = serve_tool.run_scenario(serve_args)
+    health = report["health"]
+    detection = report["detection"]
+
+    print(
+        "scenario=%s shards=%d ops=%d offered=%d completed=%d shed=%d "
+        "errors=%d"
+        % (
+            report["scenario"],
+            report["directory"]["n_shards"],
+            report["params"]["n_ops"],
+            report["offered"],
+            report["completed"],
+            report["shed"],
+            report["errors"],
+        )
+    )
+    print()
+    print(render_narrative(health, detection))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(json.dumps(
+                {"health": health, "detection": detection},
+                sort_keys=True, indent=2,
+            ))
+            fh.write("\n")
+        print("wrote %s" % args.json)
+    if args.detection_out:
+        write_detection_report(detection, args.detection_out)
+        print("wrote %s" % args.detection_out)
+
+    status = 0
+    if args.expect_clean and health["alerts"]["page"] > 0:
+        print(
+            "FAIL: expected a clean run, %d page(s) fired"
+            % health["alerts"]["page"],
+            file=sys.stderr,
+        )
+        status = 1
+    if detection["ground_truth"] is not None and not detection["detected"]:
+        print("FAIL: injected fault was not detected", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

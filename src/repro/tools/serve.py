@@ -24,12 +24,19 @@ ordinary p2KVS deployments on one simulated machine.
 """
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.critpath import install_edgelog
 from repro.faults import FaultPolicy, install_faults
 from repro.harness.report import format_table
+from repro.monitor import (
+    attach_service_monitor,
+    ground_truth_from_env,
+    render_narrative,
+    score_detection,
+)
 from repro.service import (
     ServicePlane,
     build_scenario,
@@ -131,6 +138,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fault-seed", type=int, default=0, help="fault injection RNG seed"
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach the online health monitor (windowed telemetry + alert "
+        "rules, see docs/MONITOR.md); embeds the incident timeline in the "
+        "report and prints the incident narrative",
+    )
+    parser.add_argument(
+        "--monitor-window-ms",
+        type=float,
+        default=0.1,
+        metavar="MS",
+        help="monitor telemetry window in milliseconds of simulated time "
+        "(default: 0.1)",
+    )
+    parser.add_argument(
+        "--monitor-out",
+        metavar="PATH",
+        help="write the monitor document (timeline + detection) as JSON",
+    )
     parser.add_argument("--json", metavar="PATH", help="write the SLO report as JSON")
     parser.add_argument(
         "--csv", metavar="PATH", help="write the per-shard ledger as CSV"
@@ -179,6 +206,11 @@ def run_scenario(args) -> dict:
             policy=FaultPolicy(args.fault_seed, error_rate=args.fault_rate),
             seed=args.fault_seed,
         )
+    monitor = None
+    if args.monitor or args.monitor_out:
+        monitor = attach_service_monitor(
+            env, plane, window=args.monitor_window_ms / 1e3
+        )
     t0 = env.sim.now
     run_facts = run_service_load(
         env,
@@ -187,12 +219,28 @@ def run_scenario(args) -> dict:
         spec["arrivals"],
         rebalance_at=spec["rebalance_at"],
         rebalance_moves=spec["rebalance_moves"],
+        monitor=monitor,
     )
     window = (t0, t0 + run_facts["makespan"])
     _check_sanitizer(env)
     report = build_slo_report(plane, run_facts, spec)
     report["shards_opened"] = plane.shard_names()
+    if monitor is not None:
+        report["health"] = monitor.timeline()
+        # Scored even on clean runs: a clean scenario with page alerts is a
+        # false-positive finding, which the monitor smoke gate checks.
+        report["detection"] = score_detection(
+            monitor, ground_truth_from_env(env), args.scenario
+        )
     extras = {}
+    if monitor is not None and args.monitor_out:
+        with open(args.monitor_out, "w") as fh:
+            fh.write(json.dumps(
+                {"health": report["health"], "detection": report["detection"]},
+                sort_keys=True, indent=2,
+            ))
+            fh.write("\n")
+        extras["monitor_file"] = args.monitor_out
     if tracer is not None and args.trace_out:
         spans, flows = (
             _critpath_trace_extras(edgelog, tracer, window)
@@ -304,6 +352,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_scenario(args)
     artifacts = report.pop("_artifacts")
     _print_report(report)
+    if "health" in report:
+        print()
+        print(render_narrative(report["health"], report.get("detection")))
+    if "monitor_file" in artifacts:
+        print("wrote monitor %s" % artifacts["monitor_file"])
     if "critpath" in artifacts:
         print("wrote critpath %s" % artifacts["critpath_file"])
     if "trace_file" in artifacts:
