@@ -6,8 +6,8 @@ export PYTHONPATH := src
 
 .PHONY: test bench bench-regress bench-regress-update lint check \
 	check-update-baseline sanitize perturb-smoke critpath-smoke \
-	faults-smoke serve-smoke monitor-smoke ci trace-demo stats-demo \
-	critpath-demo whatif-demo clean
+	faults-smoke serve-smoke monitor-smoke profile-smoke ci trace-demo \
+	stats-demo critpath-demo whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -132,9 +132,33 @@ monitor-smoke:
 	    | tail -n 3
 	@rm -f results/.monitor-clean.json results/.monitor-rerun.json
 
+# Host-profiling smoke (docs/PROFILING.md): the zone tree must attribute
+# >= 90% of the pinned run's wall time (writes results/profile-report.json
+# and a speedscope flamegraph, kept for the CI artifact); the instrument
+# tax table must cover every layer; and a --profile'd benchmark must
+# produce a byte-identical sim report to an unprofiled one.
+PROFILE_SMOKE_BENCH = --benchmarks fillrandom --system p2kvs --workers 2 \
+    --threads 4 --num 500 --cores 8 --seed 0
+
+profile-smoke:
+	@$(PY) -m repro.tools.profile --check-coverage 90 \
+	    --json results/profile-report.json \
+	    --flame-out results/profile-flame.speedscope.json \
+	    | tail -n 2
+	@$(PY) -m repro.tools.profile --tax --num 500 \
+	    --tax-json results/profile-tax.json 2> /dev/null
+	@$(PY) -m repro.tools.dbbench $(PROFILE_SMOKE_BENCH) \
+	    --json results/.profile-plain.json > /dev/null
+	@$(PY) -m repro.tools.dbbench $(PROFILE_SMOKE_BENCH) --profile \
+	    --json results/.profile-profiled.json > /dev/null 2>&1
+	@cmp results/.profile-plain.json results/.profile-profiled.json \
+	    && echo "profile-smoke: sim report byte-identical under --profile" \
+	    || (echo "profile-smoke: --profile changed the sim report" >&2; exit 1)
+	@rm -f results/.profile-plain.json results/.profile-profiled.json
+
 # What CI runs (see .github/workflows/ci.yml).  `check` subsumes `lint`.
 ci: check test perturb-smoke critpath-smoke faults-smoke serve-smoke \
-	monitor-smoke bench-regress
+	monitor-smoke profile-smoke bench-regress
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in

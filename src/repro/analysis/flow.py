@@ -556,6 +556,21 @@ class _TaintAnalysis:
                 )
                 if callee is None:
                     continue
+                if callee.module == "repro.perf" or callee.module.startswith(
+                    "repro.perf."
+                ):
+                    # Anything the host-profiling plane returns is host time
+                    # (or derived from it) by definition; tag it at the call
+                    # boundary so a leak is caught even when the summary
+                    # pass cannot see through the profiler's internals.
+                    tags.add(
+                        _Src(
+                            "%s() [host time: repro.perf] at %s"
+                            % (callee.name, _loc(func, node)),
+                            (),
+                        )
+                    )
+                    continue
                 summary = self.summaries.get(callee.qualname)
                 if summary is None:
                     continue
@@ -763,6 +778,12 @@ class DeterminismTaintChecker(FlowChecker):
             "unordered-set iteration) flows into a scheduling/comparison "
             "sink; the run is no longer a pure function of its seeds",
         ),
+        (
+            "host-time-leak",
+            "a value returned from the repro.perf host-profiling plane "
+            "flows into a sim-side sink (timeout/exec/submit/sort key); "
+            "profiling must never influence the simulation",
+        ),
     )
 
     def check(self, project: Project) -> Iterator[Diagnostic]:
@@ -790,10 +811,15 @@ class DeterminismTaintChecker(FlowChecker):
                     path = " -> ".join((src.desc,) + src.chain + (
                         "sinks at %s(...) [%s]" % (sink, _loc(func, node)),
                     ))
+                    rule = (
+                        "host-time-leak"
+                        if "[host time" in src.desc
+                        else "determinism-taint"
+                    )
                     yield self.diag(
                         func,
                         node,
-                        "determinism-taint",
+                        rule,
                         "nondeterministic value reaches %s(...) in %r: %s"
                         % (sink, func.name, path),
                     )

@@ -95,8 +95,17 @@ class LintRule:
     description = ""
     #: dotted-module prefixes the rule applies to; None applies everywhere.
     scopes: Optional[Tuple[str, ...]] = None
+    #: dotted-module prefixes the rule *never* applies to — a module-level
+    #: allowlist (e.g. repro.perf may read host clocks), preferred over
+    #: per-line disables when a whole package is legitimately exempt.
+    exempt: Tuple[str, ...] = ()
 
     def applies_to(self, module: str) -> bool:
+        if any(
+            module == scope or module.startswith(scope + ".")
+            for scope in self.exempt
+        ):
+            return False
         if self.scopes is None:
             return True
         return any(
@@ -180,9 +189,16 @@ class WallClockRule(LintRule):
     name = "wall-clock"
     description = (
         "no wall-clock calls (time.time/monotonic/perf_counter/sleep, "
-        "datetime.now) inside simulation modules — use sim.now / sim.timeout"
+        "datetime.now) anywhere in src/ — use sim.now / sim.timeout; "
+        "repro.perf (the host profiling plane) is the one exempt package"
     )
-    scopes = SIM_SCOPES
+    # Host time is forbidden *everywhere* in src/, not just the sim stack:
+    # a wall read in a tool or report helper is one refactor away from a
+    # scheduling decision.  repro.perf exists to hold every legal host-clock
+    # read (docs/PROFILING.md), so it is exempt as a module allowlist
+    # rather than via per-line disables.
+    scopes = None
+    exempt = ("repro.perf",)
 
     FORBIDDEN = {
         "time.time",
@@ -201,6 +217,14 @@ class WallClockRule(LintRule):
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "datetime.date.today",
+        # bare names, for `from time import perf_counter_ns` style imports
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "time_ns",
+        "process_time",
+        "process_time_ns",
     }
 
     def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:

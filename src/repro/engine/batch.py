@@ -12,6 +12,7 @@ per record, so recovery decodes genuine bytes.
 import struct
 from typing import Iterator, List, Tuple
 
+from repro.perf import zones as _perf_zones
 from repro.storage.memtable import VTYPE_DELETE, VTYPE_VALUE
 
 __all__ = ["WriteBatch"]
@@ -56,12 +57,17 @@ class WriteBatch:
         return sum(len(k) + len(v) for _, k, v in self._records)
 
     def encode(self) -> bytes:
+        _p = _perf_zones.PROFILER
+        if _p is not None:
+            _p.enter("engine.batch.encode")
         out = bytearray()
         for vtype, key, value in self._records:
             out += _REC.pack(vtype, len(key))
             out += key
             out += _LEN.pack(len(value))
             out += value
+        if _p is not None:
+            _p.leave()
         return bytes(out)
 
     @classmethod

@@ -31,6 +31,7 @@ from repro.engine.version import FileMeta, VersionEdit, VersionSet
 from repro.engine.write_group import WriteGroupCoordinator
 from repro.errors import Corruption, IOFailure, KVStatus, Stalled, TimedOut
 from repro.faults.retry import retry_io
+from repro.perf import zones as _perf_zones
 from repro.sim.sync import Condition, Lock
 from repro.storage.block_cache import BlockCache
 from repro.storage.memtable import FOUND, MemTable, NOT_FOUND
@@ -958,6 +959,11 @@ class LSMEngine:
             outputs = []
             builder = None
             chunk = 0
+            # The merge zone must never span a sim yield (host-time zones are
+            # a LIFO stack) — close it around each chunked cpu.exec below.
+            _p = _perf_zones.PROFILER
+            if _p is not None:
+                _p.enter("engine.compaction.merge")
             for key, seq, vtype, value in survivors:
                 if builder is None:
                     builder = SSTableBuilder(
@@ -968,13 +974,19 @@ class LSMEngine:
                 builder.add(key, seq, vtype, value)
                 chunk += 1
                 if chunk >= costs.background_chunk:
+                    if _p is not None:
+                        _p.leave()
                     yield self.env.cpu.exec(
                         ctx, costs.compact_per_entry * chunk, "compaction"
                     )
+                    if _p is not None:
+                        _p.enter("engine.compaction.merge")
                     chunk = 0
                 if builder.estimated_size >= self.options.target_file_size:
                     outputs.append(builder.finish())
                     builder = None
+            if _p is not None:
+                _p.leave()
             if chunk:
                 yield self.env.cpu.exec(
                     ctx, costs.compact_per_entry * chunk, "compaction"

@@ -32,6 +32,7 @@ from repro.engine.options import (
 )
 from repro.errors import KVError
 from repro.harness.metrics import Metrics, MetricsCollector
+from repro.perf import zones as _perf_zones
 from repro.sim.sync import Semaphore
 
 __all__ = [
@@ -342,7 +343,12 @@ def open_system(env: Env, factory: Generator):
         box.append(system)
 
     env.sim.spawn(opener())
+    _p = _perf_zones.PROFILER
+    if _p is not None:
+        _p.enter("harness.open")
     env.sim.run()
+    if _p is not None:
+        _p.leave()
     return box[0]
 
 
@@ -353,8 +359,14 @@ def run_closed_loop(
     pin_users: bool = False,
     measure: bool = True,
     collector: Optional[MetricsCollector] = None,
+    on_done: Optional[Callable[[], None]] = None,
 ) -> Metrics:
-    """One simulated user thread per stream; returns window metrics."""
+    """One simulated user thread per stream; returns window metrics.
+
+    ``on_done`` runs *inside the simulation* once every user thread has
+    drained — the hook for tearing down layers (e.g. the health monitor's
+    ticker) that would otherwise keep the event loop alive forever.
+    """
     if collector is None:
         collector = MetricsCollector(env, system.name)
     user_bytes0 = system.user_bytes_written()
@@ -428,9 +440,16 @@ def run_closed_loop(
                 system.memory_bytes(),
             )
         )
+        if on_done is not None:
+            on_done()
 
     env.sim.spawn(finisher())
+    _p = _perf_zones.PROFILER
+    if _p is not None:
+        _p.enter("harness.run" if measure else "harness.preload")
     env.sim.run()
+    if _p is not None:
+        _p.leave()
     return box[0]
 
 
@@ -472,7 +491,12 @@ def run_open_loop(
         )
 
     env.sim.spawn(arrivals())
+    _p = _perf_zones.PROFILER
+    if _p is not None:
+        _p.enter("harness.run")
     env.sim.run()
+    if _p is not None:
+        _p.leave()
     return box[0]
 
 

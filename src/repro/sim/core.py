@@ -13,6 +13,7 @@ exception, and then fan out to all registered callbacks in FIFO order.
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.perf import zones as _perf_zones
 from repro.trace.tracer import NULL_TRACER
 
 # lint: disable-file=unlabeled-wakeup -- the kernel defines succeed() and
@@ -426,6 +427,12 @@ class Simulator:
         Errors raised by processes with no waiters propagate out of here.
         """
         heap = self._heap
+        # Host profiler, hoisted once per run() call (installed before the
+        # loop starts; see repro.perf.zones).  The zone wraps one dispatch —
+        # the synchronous host work of delivering an event, including every
+        # process step it triggers — and unwind() guarantees the zone stack
+        # survives exceptions tearing through a callback.
+        perf = _perf_zones.PROFILER
         while heap:
             if self._pending_error is not None:
                 err, self._pending_error = self._pending_error, None
@@ -436,6 +443,7 @@ class Simulator:
                 return
             heapq.heappop(heap)
             self._now = when
+            tok = perf.enter("kernel.dispatch") if perf is not None else 0
             if isinstance(target, Event):
                 if value is not _PENDING:
                     # A timer-style entry: trigger the event now.
@@ -449,6 +457,8 @@ class Simulator:
             else:
                 fn, arg = target
                 fn(arg)
+            if perf is not None:
+                perf.unwind(tok)
         if self._pending_error is not None:
             err, self._pending_error = self._pending_error, None
             raise err

@@ -9,6 +9,8 @@ LevelDB/RocksDB defaults the paper's engines run with.
 import zlib
 from typing import Iterable
 
+from repro.perf import zones as _perf_zones
+
 __all__ = ["BloomFilter"]
 
 
@@ -47,9 +49,18 @@ class BloomFilter:
             self._bits[pos >> 3] |= 1 << (pos & 7)
 
     def may_contain(self, key: bytes) -> bool:
-        return all(
+        _p = _perf_zones.PROFILER
+        if _p is None:
+            return all(
+                self._bits[pos >> 3] & (1 << (pos & 7))
+                for pos in self._positions(key)
+            )
+        _p.enter("storage.bloom.probe")
+        hit = all(
             self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
         )
+        _p.leave()
+        return hit
 
     @property
     def nbytes(self) -> int:

@@ -16,6 +16,8 @@ against a sorted-dict model).
 import random
 from typing import Iterator, List, Optional, Tuple
 
+from repro.perf import zones as _perf_zones
+
 __all__ = [
     "MemTable",
     "SkipList",
@@ -145,6 +147,9 @@ class MemTable:
                     self._track,
                     args={"seq": seq, "bytes": len(key) + len(value)},
                 )
+        _p = _perf_zones.PROFILER
+        if _p is not None:
+            _p.enter("storage.memtable.insert")
         # Internal key (key, MAX_SEQ - seq) sorts newer versions first.
         self._list.insert((key, MAX_SEQ - seq), (vtype, value))
         self.approximate_size += len(key) + len(value) + ENTRY_OVERHEAD
@@ -152,6 +157,8 @@ class MemTable:
         if self.first_seq is None:
             self.first_seq = seq
         self.last_seq = seq
+        if _p is not None:
+            _p.leave()
 
     def get(self, key: bytes, snapshot_seq: int = MAX_SEQ) -> Tuple[str, Optional[bytes]]:
         """Find the newest version of ``key`` visible at ``snapshot_seq``.
@@ -159,7 +166,13 @@ class MemTable:
         Returns (state, value): (FOUND, value), (DELETED, None) or
         (NOT_FOUND, None).
         """
-        node = self._list._find_ge((key, MAX_SEQ - snapshot_seq))
+        _p = _perf_zones.PROFILER
+        if _p is None:
+            node = self._list._find_ge((key, MAX_SEQ - snapshot_seq))
+        else:
+            _p.enter("storage.memtable.search")
+            node = self._list._find_ge((key, MAX_SEQ - snapshot_seq))
+            _p.leave()
         if node is None or node[0][0] != key:
             return NOT_FOUND, None
         vtype, value = node[1]

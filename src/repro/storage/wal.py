@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Iterator, Union
 
 from repro.errors import Corruption
+from repro.perf import zones as _perf_zones
 
 __all__ = ["LogReader", "LogWriter", "WalRecord", "RECORD_STANDALONE", "RECORD_TXN"]
 
@@ -63,7 +64,13 @@ class LogWriter:
 
     def append(self, payload: bytes, rtype: int = RECORD_STANDALONE, gsn: int = 0) -> int:
         """Append one record; returns its encoded size in bytes."""
-        data = encode_record(payload, rtype, gsn)
+        _p = _perf_zones.PROFILER
+        if _p is None:
+            data = encode_record(payload, rtype, gsn)
+        else:
+            _p.enter("storage.wal.encode")
+            data = encode_record(payload, rtype, gsn)
+            _p.leave()
         tracer = self.vfile.disk.sim.tracer
         if tracer.enabled:
             tracer.instant(

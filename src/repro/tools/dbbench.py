@@ -31,6 +31,7 @@ from repro.critpath import (
 )
 from repro.harness.report import format_attribution, format_blame_table, format_qps, format_table
 from repro.metrics import install_stats, write_stats_files
+from repro.perf import zones as _perf_zones
 from repro.sim.device import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO
 from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import (
@@ -107,7 +108,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_stats_args(parser)
     add_critpath_args(parser)
+    add_profile_args(parser)
     return parser
+
+
+def add_profile_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --profile flag family (dbbench + ycsb + serve;
+    docs/PROFILING.md).  Profile output goes to stderr / its own file, so
+    the sim-side report on stdout is byte-identical with or without it."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the host wall-clock zone profiler and print the "
+        "per-subsystem wall-time tree to stderr; simulated results are "
+        "unaffected (see docs/PROFILING.md)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the zone report as JSON (implies --profile)",
+    )
+
+
+def _start_profile(args):
+    """Install the zone profiler when --profile[-out] was given (else None)."""
+    if not (getattr(args, "profile", False) or getattr(args, "profile_out", None)):
+        return None
+    return _perf_zones.install()
+
+
+def _finish_profile(args, profiler) -> None:
+    """Stop profiling; print the zone tree to stderr, write --profile-out."""
+    if profiler is None:
+        return
+    from repro.perf import format_zone_tree
+
+    _perf_zones.uninstall()
+    snapshot = profiler.snapshot()
+    print(format_zone_tree(snapshot), file=sys.stderr)
+    out = getattr(args, "profile_out", None)
+    if out:
+        with open(out, "w") as f:
+            json.dump(snapshot, f, indent=2)
+        print("wrote profile %s" % out, file=sys.stderr)
 
 
 def add_critpath_args(parser: argparse.ArgumentParser) -> None:
@@ -271,9 +314,13 @@ def run_benchmark(
     if name in NEEDS_PRELOAD:
         preload(env, system, fillrandom(args.num, args.value_size, args.seed), 8)
     t0 = env.sim.now
-    metrics = run_closed_loop(
-        env, system, split_stream(_ops_for(name, args), args.threads)
-    )
+    _p = _perf_zones.PROFILER
+    if _p is not None:
+        _p.enter("harness.workload")
+    streams = split_stream(_ops_for(name, args), args.threads)
+    if _p is not None:
+        _p.leave()
+    metrics = run_closed_loop(env, system, streams)
     window = (t0, t0 + metrics.elapsed)
     _check_sanitizer(env)
     result = {
@@ -320,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in BENCHMARKS:
             print("unknown benchmark %r" % name, file=sys.stderr)
             return 2
+    profiler = _start_profile(args)
     results = [
         run_benchmark(
             name,
@@ -336,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for name in names
     ]
+    _finish_profile(args, profiler)
     rows = [
         [
             r["benchmark"],

@@ -54,9 +54,12 @@ from repro.tools.dbbench import (
     _critpath_trace_extras,
     _export_critpath,
     _export_stats,
+    _finish_profile,
     _install_stats,
     _make_env,
+    _start_profile,
     add_critpath_args,
+    add_profile_args,
     add_stats_args,
 )
 from repro.trace import install_tracer, write_chrome_trace
@@ -170,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_stats_args(parser)
     add_critpath_args(parser)
+    add_profile_args(parser)
     return parser
 
 
@@ -349,7 +353,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shards < 1:
         print("need at least one shard", file=sys.stderr)
         return 2
+    profiler = _start_profile(args)
     report = run_scenario(args)
+    _finish_profile(args, profiler)
     artifacts = report.pop("_artifacts")
     _print_report(report)
     if "health" in report:

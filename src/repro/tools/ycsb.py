@@ -28,10 +28,13 @@ from repro.tools.dbbench import (
     _critpath_trace_extras,
     _export_critpath,
     _export_stats,
+    _finish_profile,
     _install_stats,
     _make_env,
+    _start_profile,
     _trace_path,
     add_critpath_args,
+    add_profile_args,
     add_stats_args,
 )
 from repro.trace import install_tracer, write_chrome_trace
@@ -85,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_stats_args(parser)
     add_critpath_args(parser)
+    add_profile_args(parser)
     return parser
 
 
@@ -152,6 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in WORKLOAD_NAMES:
             print("unknown workload %r" % name, file=sys.stderr)
             return 2
+    profiler = _start_profile(args)
     results = [
         run_workload(
             name,
@@ -168,6 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for name in names
     ]
+    _finish_profile(args, profiler)
     rows = [
         [
             r["workload"],

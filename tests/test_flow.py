@@ -484,9 +484,10 @@ def test_taint_negative_seeded_rng_and_sorted_iteration():
     )
 
 
-def test_taint_is_invisible_to_lint_outside_sim_scopes():
-    """wall-clock lint is scoped to sim/engine/core; the flow checker still
-    catches the value *reaching a scheduling sink* from repro.service."""
+def test_lint_and_taint_both_catch_wall_clock_in_service():
+    """The wall-clock lint covers all of src/ (repro.perf is the one exempt
+    package); the flow checker additionally proves the value *reaches a
+    scheduling sink* — same defect, two complementary reports."""
     code = """
     import time
 
@@ -495,7 +496,7 @@ def test_taint_is_invisible_to_lint_outside_sim_scopes():
         yield env.sim.timeout(now)
     """
     lint_diags = lint_source(textwrap.dedent(code), module="repro.service.taintfix")
-    assert [d.rule for d in lint_diags] == []
+    assert [d.rule for d in lint_diags] == ["wall-clock"]
     assert rule_names(repro__service__taintfix=code) == ["determinism-taint"]
 
 
@@ -947,6 +948,7 @@ def test_flow_rule_catalogue():
         "lock-order-cycle",
         "blocking-while-locked",
         "determinism-taint",
+        "host-time-leak",
         "status-discarded",
         "crash-swallowed",
         "unbounded-retry",

@@ -363,11 +363,14 @@ def test_file_suppression():
     assert lint_source(code) == []
 
 
-def test_scoped_rules_skip_other_modules():
-    # wall-clock only applies to repro.sim / repro.engine / repro.core.
+def test_wall_clock_covers_all_of_src_except_repro_perf():
+    # wall-clock applies everywhere; repro.perf is the one exempt package
+    # (the module allowlist, preferred over per-line disables).
     code = "import time\nt = time.time()\n"
-    assert lint_source(code, module="repro.tools.dbbench") == []
+    assert [d.rule for d in lint_source(code, module="repro.tools.dbbench")] == ["wall-clock"]
     assert [d.rule for d in lint_source(code, module="repro.engine.db")] == ["wall-clock"]
+    assert lint_source(code, module="repro.perf.zones") == []
+    assert lint_source(code, module="repro.perf.tax") == []
 
 
 def test_lint_paths_on_tree(tmp_path):
