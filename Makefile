@@ -6,8 +6,8 @@ export PYTHONPATH := src
 
 .PHONY: test bench bench-regress bench-regress-update lint check \
 	check-update-baseline sanitize perturb-smoke critpath-smoke \
-	faults-smoke serve-smoke monitor-smoke profile-smoke ci trace-demo \
-	stats-demo critpath-demo whatif-demo clean
+	faults-smoke serve-smoke monitor-smoke profile-smoke perf-gate \
+	ci trace-demo stats-demo critpath-demo whatif-demo clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -156,9 +156,22 @@ profile-smoke:
 	    || (echo "profile-smoke: --profile changed the sim report" >&2; exit 1)
 	@rm -f results/.profile-plain.json results/.profile-profiled.json
 
-# What CI runs (see .github/workflows/ci.yml).  `check` subsumes `lint`.
+# Simulator-speed gate (ROADMAP item 4; docs/PROFILING.md "Making the
+# simulator faster"): runs the wall-gated bench regress (best-of-3
+# `wall_ops_per_s` vs the committed baseline, 30% band, same-host only)
+# plus the zone-coverage check, and writes the current zone tree to
+# results/perf-gate-zones.json.  CI uploads that tree next to the committed
+# before/after trees (benchmarks/PROFILE_{before,after}.json) so a wall
+# regression comes with the attribution needed to find it.
+perf-gate:
+	@$(PY) -m repro.tools.profile --check-coverage 90 \
+	    --json results/perf-gate-zones.json | tail -n 2
+	$(PY) -m benchmarks.regress
+
+# What CI runs (see .github/workflows/ci.yml).  `check` subsumes `lint`;
+# `perf-gate` subsumes `bench-regress`.
 ci: check test perturb-smoke critpath-smoke faults-smoke serve-smoke \
-	monitor-smoke profile-smoke bench-regress
+	monitor-smoke profile-smoke perf-gate
 
 # Record a request-level trace of a small p2KVS fillrandom run and print the
 # span-derived Figure 6 latency attribution.  Open trace-demo.json in

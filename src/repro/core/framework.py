@@ -38,6 +38,7 @@ from repro.engine.batch import WriteBatch
 from repro.engine.env import Env
 from repro.errors import KVStatus
 from repro.metrics.perf_context import PerfContext
+from repro.sim.core import Event
 from repro.storage.wal import RECORD_STANDALONE, RECORD_TXN
 
 __all__ = ["P2KVS"]
@@ -157,7 +158,9 @@ class P2KVS:
         return args
 
     def _submit_and_wait(self, ctx, request: Request, worker_id: int) -> Generator:
-        tracer = self.env.sim.tracer
+        env = self.env
+        sim = env.sim
+        tracer = sim.tracer
         if tracer.enabled:
             request.trace = tracer.begin(
                 "request:%s" % request.op,
@@ -166,16 +169,16 @@ class P2KVS:
                 args=self._trace_args(request, worker_id),
             )
         prev_perf = ctx.perf
-        if self.env.metrics.perf_enabled:
+        if env.metrics.perf_enabled:
             # The request's perf context also rides the submitting user
             # thread, so submit CPU and the request_wait land in it too.
             request.perf = ctx.perf = PerfContext()
-        yield self.env.cpu.exec(ctx, SUBMIT_COST, "submit")
-        request.future = self.env.sim.event()
+        yield env.cpu.exec(ctx, SUBMIT_COST, "submit")
+        request.future = Event(sim)
         self.workers[worker_id].submit(request)
-        waited_since = self.env.sim.now
+        waited_since = sim._now
         result = yield request.future
-        ctx.account_wait("request_wait", self.env.sim.now - waited_since)
+        ctx.account_wait("request_wait", sim._now - waited_since)
         if request.perf is not None:
             ctx.perf = prev_perf
         if request.trace is not None:

@@ -19,8 +19,7 @@ __all__ = ["HashRouter", "PrefixRouter", "RangeRouter", "fnv1a"]
 def fnv1a(data: bytes) -> int:
     h = 0xCBF29CE484222325
     for b in data:
-        h ^= b
-        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
     return h
 
 
@@ -31,9 +30,16 @@ class HashRouter:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.n_workers = n_workers
+        #: key -> worker memo: read-heavy workloads route the same keys
+        #: repeatedly, and FNV over the key bytes is a pure-Python loop.
+        self._route_cache: dict = {}
 
     def route(self, key: bytes) -> int:
-        return fnv1a(key) % self.n_workers
+        cache = self._route_cache
+        worker = cache.get(key)
+        if worker is None:
+            worker = cache[key] = fnv1a(key) % self.n_workers
+        return worker
 
     def explain(self, key: bytes) -> dict:
         """Routing decision, unpacked for trace annotations."""

@@ -84,8 +84,9 @@ class Worker:
         self._proc = self.env.sim.spawn(self._loop(), self.queue.name)
 
     def submit(self, request: Request) -> None:
-        request.submit_time = self.env.sim.now
-        tracer = self.env.sim.tracer
+        sim = self.env.sim
+        request.submit_time = sim._now
+        tracer = sim.tracer
         if tracer.enabled:
             # Residency spans overlap (many requests sit queued at once), so
             # each gets an async span on the queue's track.
@@ -103,33 +104,46 @@ class Worker:
     # -- worker loop -------------------------------------------------------
 
     def _loop(self) -> Generator:
+        # Loop-invariant lookups hoisted once: the generator body only
+        # starts executing inside sim.run(), after all setup (sampler
+        # install, tracer attach) is done, so these cannot change mid-run.
+        env = self.env
+        queue = self.queue
+        cpu = env.cpu
+        ctx = self.ctx
+        tracer = env.sim.tracer
+        counters = self.counters
+        record_batch_size = self.batch_sizes.record
+        obm_enabled = self.obm_enabled
+        obm_cap = self.obm_cap
+        perf_enabled = env.metrics.perf_enabled
         while True:
-            request = yield self.queue.get()
+            request = yield queue.get()
             if request is SHUTDOWN:
                 return
-            yield self.env.cpu.exec(self.ctx, DISPATCH_COST, "dispatch")
-            tracer = self.env.sim.tracer
-            if self.obm_enabled:
+            yield cpu.exec(ctx, DISPATCH_COST, "dispatch")
+            if obm_enabled:
                 batch = collect_batch(
                     request,
-                    self.queue,
-                    self.obm_cap,
+                    queue,
+                    obm_cap,
                     tracer=tracer if tracer.enabled else None,
-                    track=self.ctx.track,
+                    track=ctx.track,
                 )
             else:
                 batch = [request]
-            self.batch_sizes.record(len(batch))
-            self.counters.add("batches")
-            self.counters.add("requests", len(batch))
-            if self.env.metrics.perf_enabled:
+            n = len(batch)
+            record_batch_size(n)
+            counters.add("batches")
+            counters.add("requests", n)
+            if perf_enabled:
                 # One perf context per executed batch: the engine layers below
                 # accumulate into it via ctx.perf, and _complete merges it
                 # into each member request (batch-level work is shared, so
                 # every member sees the whole batch's counts; batch_size
                 # records the denominator).
-                batch_perf = self.ctx.perf = PerfContext()
-                batch_perf.add("batch_size", len(batch))
+                batch_perf = ctx.perf = PerfContext()
+                batch_perf.batch_size += n
             else:
                 batch_perf = None
             span = None
@@ -141,12 +155,12 @@ class Worker:
                 span = tracer.begin(
                     "execute:%s" % batch[0].merge_class,
                     "worker",
-                    self.ctx.track,
-                    args={"batch": len(batch), "op": batch[0].op},
+                    ctx.track,
+                    args={"batch": n, "op": batch[0].op},
                 )
             yield from self._run_batch(batch)
             if batch_perf is not None:
-                self.ctx.perf = None
+                ctx.perf = None
             if span is not None:
                 span.finish()
 

@@ -60,15 +60,23 @@ class WriteBatch:
         _p = _perf_zones.PROFILER
         if _p is not None:
             _p.enter("engine.batch.encode")
-        out = bytearray()
-        for vtype, key, value in self._records:
-            out += _REC.pack(vtype, len(key))
-            out += key
-            out += _LEN.pack(len(value))
-            out += value
+        records = self._records
+        rec_pack = _REC.pack
+        len_pack = _LEN.pack
+        if len(records) == 1:
+            vtype, key, value = records[0]
+            data = rec_pack(vtype, len(key)) + key + len_pack(len(value)) + value
+        else:
+            parts = []
+            for vtype, key, value in records:
+                parts.append(rec_pack(vtype, len(key)))
+                parts.append(key)
+                parts.append(len_pack(len(value)))
+                parts.append(value)
+            data = b"".join(parts)
         if _p is not None:
             _p.leave()
-        return bytes(out)
+        return data
 
     @classmethod
     def decode(cls, data: bytes) -> "WriteBatch":

@@ -18,7 +18,9 @@ to reproduce the paper's *shapes* (who is the bottleneck when), not cycle
 accuracy.
 """
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 __all__ = ["CostModel"]
 
@@ -86,14 +88,36 @@ class CostModel:
     #: simulation interleaves them with foreground work.
     background_chunk: int = 512
 
+    # Memoized lookup tables: workloads draw from a handful of record sizes
+    # and memtable populations repeat across workers and generations, so the
+    # two per-request formulas reduce to dict hits.  The cached value is the
+    # exact float the formula produces (the miss branch IS the formula), so
+    # caching cannot move a single ulp.  ``compare=False`` keeps the caches
+    # out of the frozen dataclass's __eq__/__hash__.
+    _wal_cost_cache: Dict[int, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _mem_cost_cache: Dict[Tuple[int, int], float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
     def wal_record_cost(self, nbytes: int) -> float:
-        return self.wal_encode_per_record + self.wal_encode_per_byte * nbytes
+        cache = self._wal_cost_cache
+        cost = cache.get(nbytes)
+        if cost is None:
+            cost = self.wal_encode_per_record + self.wal_encode_per_byte * nbytes
+            cache[nbytes] = cost
+        return cost
 
     def memtable_insert_cost(self, n_entries: int, concurrency: int = 1) -> float:
-        import math
-
-        return (
-            self.memtable_insert_base
-            + self.memtable_insert_per_log2 * math.log2(n_entries + 2)
-            + self.memtable_concurrency_penalty * max(0, concurrency - 1)
-        )
+        cache = self._mem_cost_cache
+        key = (n_entries, concurrency)
+        cost = cache.get(key)
+        if cost is None:
+            cost = (
+                self.memtable_insert_base
+                + self.memtable_insert_per_log2 * math.log2(n_entries + 2)
+                + self.memtable_concurrency_penalty * max(0, concurrency - 1)
+            )
+            cache[key] = cost
+        return cost

@@ -292,11 +292,13 @@ class LSMEngine:
         if monitor is not None:
             # The WAL writer's buffer is exclusive to the current leader.
             monitor.on_access("%s:wal" % self._san_key, write=True, site="log_append")
-        self.counters.add("wal_appends")
-        self.counters.add("wal_bytes", len(payload))
+        nbytes = len(payload)
+        counters = self.counters
+        counters.add("wal_appends")
+        counters.add("wal_bytes", nbytes)
         if perf is not None:
-            perf.add("wal_appends")
-            perf.add("wal_bytes", len(payload))
+            perf.wal_appends += 1
+            perf.wal_bytes += nbytes
         self.log_writer.append(payload, rtype, gsn)
 
     def pin_wal(self, number: int) -> None:
@@ -574,7 +576,7 @@ class LSMEngine:
             snapshot_seq = self.visible_seq
         self.counters.add("read_requests")
         if ctx.perf is not None:
-            ctx.perf.add("memtable_probes")
+            ctx.perf.memtable_probes += 1
         # The instance-wide read critical section (block-cache LRU + version
         # bookkeeping): concurrent readers of one instance serialize here.
         yield self.read_lock.acquire(ctx, "read_lock")
@@ -609,7 +611,7 @@ class LSMEngine:
             snapshot_seq = self.visible_seq
         self.counters.add("read_requests", len(keys))
         if ctx.perf is not None:
-            ctx.perf.add("memtable_probes", len(keys))
+            ctx.perf.memtable_probes += len(keys)
         yield self.read_lock.acquire(ctx, "read_lock")
         yield self.env.cpu.exec(
             ctx,

@@ -390,8 +390,9 @@ class WriteGroupCoordinator:
         self._apply_batch(writer, writer._seqs)  # type: ignore[attr-defined]
 
     def _apply_batch(self, writer: Writer, seqs) -> None:
-        if writer.ctx.perf is not None:
-            writer.ctx.perf.add("memtable_inserts", len(writer.batch))
+        perf = writer.ctx.perf
+        if perf is not None:
+            perf.memtable_inserts += len(writer.batch)
         if writer._wal_number is not None:
             # The insert may land in a memtable newer than the segment the
             # record was logged to (pipelined writes): the active memtable

@@ -383,9 +383,12 @@ def run_closed_loop(
 
     def user_thread(ctx, stream, thread_index):
         count = 0
-        tracer = env.sim.tracer
+        sim = env.sim
+        tracer = sim.tracer
+        record_latency = collector.record_latency
+        async_window = is_p2kvs and system.async_window
         for op in stream:
-            started = env.sim.now
+            started = sim._now
             # p2KVS emits its own request spans (with routing args) from the
             # accessing layer; for every other system the harness emits one
             # per op so the critical-path extractor has walk endpoints.
@@ -411,10 +414,8 @@ def run_closed_loop(
                     collector.record_error(exc.code)
             if span is not None:
                 span.finish()
-            if measure and not (is_p2kvs and system.async_window and op[0] in ("insert", "update")):
-                collector.record_latency(
-                    _VERB_CLASS[op[0]], env.sim.now - started
-                )
+            if measure and not (async_window and op[0] in ("insert", "update")):
+                record_latency(_VERB_CLASS[op[0]], sim._now - started)
             count += 1
             if count % MEMORY_SAMPLE_EVERY == 0:
                 collector.note_memory(system.memory_bytes())

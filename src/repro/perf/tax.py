@@ -39,11 +39,17 @@ PINNED: Dict[str, object] = {
 }
 
 
-def run_workload(layer: str = "off", num: Optional[int] = None) -> None:
+def run_workload(
+    layer: str = "off",
+    num: Optional[int] = None,
+    schedule_seed: Optional[int] = None,
+) -> None:
     """Run the pinned workload once with ``layer`` attached.
 
     Each call builds a fresh env/system so no layer sees another's state.
     Imports are local so merely importing ``repro.perf`` stays cheap.
+    ``schedule_seed`` perturbs same-time event delivery (the tool's shared
+    determinism flag): the workload must behave identically for every N.
     """
     from repro.engine import make_env
     from repro.harness import run_closed_loop
@@ -57,6 +63,8 @@ def run_workload(layer: str = "off", num: Optional[int] = None) -> None:
         device_spec=devices[PINNED["device"]],
         page_cache_bytes=1 << 40,
     )
+    if schedule_seed is not None:
+        env.sim.perturb_schedule(schedule_seed)
     monitor = None
     if layer == "off":
         pass
@@ -107,6 +115,7 @@ def measure_tax(
     layers: Sequence[str] = LAYERS,
     num: Optional[int] = None,
     warmup: bool = True,
+    schedule_seed: Optional[int] = None,
 ) -> dict:
     """Time the pinned workload once per layer; returns the tax report.
 
@@ -117,13 +126,13 @@ def measure_tax(
     import sys
 
     if warmup:
-        run_workload("off", num=num)
+        run_workload("off", num=num, schedule_seed=schedule_seed)
     rows: List[dict] = []
     base: Optional[int] = None
     for layer in layers:
         print("tax: running layer %s ..." % layer, file=sys.stderr)
         t0 = perf_counter_ns()
-        run_workload(layer, num=num)
+        run_workload(layer, num=num, schedule_seed=schedule_seed)
         wall = perf_counter_ns() - t0
         if layer == "off":
             base = wall

@@ -8,9 +8,34 @@ micro-latencies from the paper (e.g. 2.1 us WAL writes) are expressed as
 
 Events are single-shot: they trigger once, with either a value or an
 exception, and then fan out to all registered callbacks in FIFO order.
+
+Hot-path layout (ROADMAP item 4): this module is the top of the wall-clock
+zone tree, so the common cases are slot-based and allocation-free where the
+semantics allow:
+
+* an :class:`Event` stores its waiters in a single ``_cb`` slot —
+  ``None`` (no waiter), a bare callable (the single-waiter common case), or
+  a list only once a second waiter registers;
+* heap entries are plain 5-tuples ``(when, rank, seq, target, value)``;
+  deferred calls encode ``target`` as a ``(fn, arg)`` tuple so the dispatch
+  loop discriminates with one ``type(target) is tuple`` check instead of an
+  ``isinstance`` walk;
+* :class:`Process` resumes drive ``gen.send``/``gen.throw`` directly (the
+  bound ``send`` is cached at spawn) instead of allocating a closure per
+  step, and the observability hooks (tracer/monitor/edgelog/profiler) stay
+  exactly one ``is not None`` branch each when disabled.
+
+Ordering contract: all fast paths preserve the heap ordering key.  The only
+tolerated difference vs. the historical kernel is *within* a single sim-time
+instant (e.g. a callback added to an already-triggered event now joins that
+event's pending delivery instead of a fresh heap entry), which the
+perturbation-invariance contract — ``perturb_schedule`` reruns must be
+byte-identical — already requires models to be robust to.  The golden
+fingerprint suite (tests/test_golden.py) pins this.
 """
 
 import heapq
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.perf import zones as _perf_zones
@@ -34,6 +59,8 @@ __all__ = [
 # carries the exception in _value and re-raises it inside waiting processes.
 _PENDING = object()
 
+_INF = float("inf")
+
 
 class SimError(Exception):
     """Raised for misuse of the simulation kernel (e.g. yielding non-events)."""
@@ -47,13 +74,14 @@ class Event:
     yielding it.
     """
 
-    __slots__ = ("sim", "_value", "_ok", "_callbacks", "_hb", "_edge")
+    __slots__ = ("sim", "_value", "_ok", "_cb", "_hb", "_edge")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        #: waiter slot: None | callable | list of callables (FIFO).
+        self._cb: Any = None
         #: happens-before clock stamped by the analysis monitor (if any) when
         #: the event triggers; joined into the waiter's clock on resume.
         self._hb = None
@@ -77,23 +105,29 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError("event already triggered")
         self._value = value
         self._ok = True
-        monitor = self.sim.monitor
+        sim = self.sim
+        monitor = sim.monitor
         if monitor is not None:
             monitor.on_send(self)
-        edgelog = self.sim.edgelog
+        edgelog = sim.edgelog
         if edgelog is not None and self._edge is None:
             # Un-annotated trigger (engine-level future): generic hand-off
             # edge so the critical path still flows through the waker.
             edgelog.annotate(self, "event")
-        self.sim._queue_callbacks(self)
+        sim._seq = seq = sim._seq + 1
+        rng = sim._perturb_rng
+        _heappush(
+            sim._heap,
+            (sim._now, rng.random() if rng is not None else 0.0, seq, self, _PENDING),
+        )
         return self
 
     def fail(self, exc: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError("event already triggered")
         if not isinstance(exc, BaseException):
             raise SimError("fail() requires an exception instance")
@@ -110,12 +144,29 @@ class Event:
 
         If the event already triggered, the callback fires on the next loop
         iteration (never synchronously), preserving run-to-completion
-        semantics for the caller.
+        semantics for the caller: it joins the event's still-pending delivery
+        if one exists, else a fresh delivery entry is queued — no per-call
+        closure or heap entry on hot futures.
         """
-        if self.triggered:
-            self.sim._queue_deferred(fn, self)
+        cb = self._cb
+        if self._value is _PENDING:
+            if cb is None:
+                self._cb = fn
+            elif type(cb) is list:
+                cb.append(fn)
+            else:
+                self._cb = [cb, fn]
+            return
+        # Already triggered.  A non-None _cb means a delivery entry is still
+        # pending in the heap (drains set _cb back to None), so appending is
+        # enough; from None we must queue a delivery for this callback.
+        if cb is None:
+            self._cb = fn
+            self.sim._queue_callbacks(self)
+        elif type(cb) is list:
+            cb.append(fn)
         else:
-            self._callbacks.append(fn)
+            self._cb = [cb, fn]
 
 
 class Timeout(Event):
@@ -126,7 +177,12 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimError("negative timeout: %r" % (delay,))
-        super().__init__(sim)
+        self.sim = sim
+        self._value = _PENDING
+        self._ok = None
+        self._cb = None
+        self._hb = None
+        self._edge = None
         edgelog = sim.edgelog
         if edgelog is not None:
             # Timers never pass through succeed() — Simulator.run delivers
@@ -134,7 +190,18 @@ class Timeout(Event):
             edgelog.annotate(
                 self, "timeout", kind="resource", initiator=sim.current_process
             )
-        sim._schedule(delay, self, value)
+        sim._seq = seq = sim._seq + 1
+        rng = sim._perturb_rng
+        _heappush(
+            sim._heap,
+            (
+                sim._now + delay,
+                rng.random() if rng is not None else 0.0,
+                seq,
+                self,
+                value,
+            ),
+        )
 
 
 class LateTimeout(Event):
@@ -173,11 +240,19 @@ class Process(Event):
     between plain generator functions.
     """
 
-    __slots__ = ("gen", "name", "held_locks")
+    __slots__ = ("gen", "name", "held_locks", "_send")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
-        super().__init__(sim)
+        self.sim = sim
+        self._value = _PENDING
+        self._ok = None
+        self._cb = None
+        self._hb = None
+        self._edge = None
         self.gen = gen
+        #: bound gen.send, cached once: resumes are the hottest call site in
+        #: the kernel and must not re-resolve the method per step.
+        self._send = gen.send
         self.name = name or getattr(gen, "__name__", "process")
         #: sim locks currently owned by this process (repro.sim.sync
         #: maintains this); a process must release them before returning.
@@ -189,54 +264,88 @@ class Process(Event):
         if edgelog is not None:
             edgelog.on_spawn(self, sim.current_process, sim._now)
         # Kick off on the next loop iteration.
-        sim._queue_deferred(self._resume_ok, None)
+        sim._seq = seq = sim._seq + 1
+        rng = sim._perturb_rng
+        _heappush(
+            sim._heap,
+            (
+                sim._now,
+                rng.random() if rng is not None else 0.0,
+                seq,
+                (self._resume_ok, None),
+                _PENDING,
+            ),
+        )
 
     def _resume_ok(self, _event: Optional[Event]) -> None:
-        self._step(lambda: self.gen.send(None if _event is None else _event.value))
-
-    def _resume(self, event: Event) -> None:
-        monitor = self.sim.monitor
-        if monitor is not None:
-            monitor.on_receive(self, event)
-        edgelog = self.sim.edgelog
-        if edgelog is not None:
-            edgelog.on_resume(self, event, self.sim._now)
-        if event.ok:
-            self._step(lambda: self.gen.send(event.value))
-        else:
-            self._step(lambda: self.gen.throw(event.value))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
+        """First step (and legacy success-only resume): no receive hooks."""
         sim = self.sim
         sim.current_process = self
         try:
-            target = advance()
+            target = self._send(None if _event is None else _event._value)
         except StopIteration as stop:
-            if self.held_locks:
-                # A finished generator can never release its locks, so every
-                # future acquirer would hang silently.  Fail loudly instead.
-                self._exit_holding_locks()
-                return
-            edgelog = sim.edgelog
-            if edgelog is not None:
-                # Waker is still `self` here (current_process), so joiners'
-                # paths continue through the finished process's history.
-                edgelog.annotate(self, "process")
-            self.succeed(stop.value)
+            self._on_stop(stop.value)
+            sim.current_process = None
             return
         except BaseException as exc:  # lint: disable=crash-swallowed  (kernel boundary: fail() re-raises at every waiter, _crash aborts the run)
-            if self._callbacks:
-                self.fail(exc)
-            else:
-                # Nobody is waiting: surface the error out of Simulator.run().
-                sim._crash(exc)
-            return
-        finally:
+            self._on_error(exc)
             sim.current_process = None
-        if not isinstance(target, Event):
-            self._step_fail(target)
             return
-        target.add_callback(self._resume)
+        sim.current_process = None
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+        else:
+            self._step_fail(target)
+
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        monitor = sim.monitor
+        if monitor is not None:
+            monitor.on_receive(self, event)
+        edgelog = sim.edgelog
+        if edgelog is not None:
+            edgelog.on_resume(self, event, sim._now)
+        sim.current_process = self
+        try:
+            if event._ok:
+                target = self._send(event._value)
+            else:
+                target = self.gen.throw(event._value)
+        except StopIteration as stop:
+            self._on_stop(stop.value)
+            sim.current_process = None
+            return
+        except BaseException as exc:  # lint: disable=crash-swallowed  (kernel boundary: fail() re-raises at every waiter, _crash aborts the run)
+            self._on_error(exc)
+            sim.current_process = None
+            return
+        sim.current_process = None
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+        else:
+            self._step_fail(target)
+
+    def _on_stop(self, value: Any) -> None:
+        """Generator returned: trigger the process event (current_process is
+        still this process, so the completion edge blames the right waker)."""
+        if self.held_locks:
+            # A finished generator can never release its locks, so every
+            # future acquirer would hang silently.  Fail loudly instead.
+            self._exit_holding_locks()
+            return
+        edgelog = self.sim.edgelog
+        if edgelog is not None:
+            # Waker is still `self` here (current_process), so joiners'
+            # paths continue through the finished process's history.
+            edgelog.annotate(self, "process")
+        self.succeed(value)
+
+    def _on_error(self, exc: BaseException) -> None:
+        if self._cb is not None:
+            self.fail(exc)
+        else:
+            # Nobody is waiting: surface the error out of Simulator.run().
+            self.sim._crash(exc)
 
     def _exit_holding_locks(self) -> None:
         names = ", ".join(repr(lock.name) for lock in self.held_locks)
@@ -247,7 +356,7 @@ class Process(Event):
         )
         # Deadlocked state is unrecoverable: surface the error even when a
         # waiter exists, so Simulator.run() always fails fast.
-        if self._callbacks:
+        if self._cb is not None:
             self.fail(exc)
         self.sim._crash(exc)
 
@@ -401,7 +510,7 @@ class Simulator:
         if rank is None:
             rng = self._perturb_rng
             rank = rng.random() if rng is not None else 0.0
-        heapq.heappush(self._heap, (when, rank, self._seq, target, value))
+        _heappush(self._heap, (when, rank, self._seq, target, value))
 
     def _schedule(self, delay: float, event: Event, value: Any) -> None:
         """Trigger ``event`` (successfully) after ``delay`` seconds."""
@@ -415,6 +524,29 @@ class Simulator:
         """Run ``fn(arg)`` at the current time on the next loop iteration."""
         self._push(self._now, (fn, arg), _PENDING)
 
+    def _call_later(self, delay: float, fn: Callable, arg: Any) -> None:
+        """Run ``fn(arg)`` after ``delay`` seconds — the closure-free burst
+        completion fast path (cpu/device).
+
+        Equivalent to ``timeout(delay).add_callback(fn)`` with the same heap
+        ordering key, minus the Timeout event and per-burst closure.  Callers
+        must fall back to a real :class:`Timeout` whenever ``edgelog`` is
+        installed: a Timeout stamps its wakeup edge at creation, and the
+        critical path needs that edge.
+        """
+        self._seq += 1
+        rng = self._perturb_rng
+        _heappush(
+            self._heap,
+            (
+                self._now + delay,
+                rng.random() if rng is not None else 0.0,
+                self._seq,
+                (fn, arg),
+                _PENDING,
+            ),
+        )
+
     def _crash(self, exc: BaseException) -> None:
         if self._pending_error is None:
             self._pending_error = exc
@@ -425,39 +557,83 @@ class Simulator:
         """Run until the event heap is empty or sim time passes ``until``.
 
         Errors raised by processes with no waiters propagate out of here.
+
+        The loop body exists twice — once bare, once wrapped in the
+        kernel.dispatch profiler zone — so the profiler-off path carries no
+        per-iteration profiler branches at all (the one-branch-off contract,
+        paid once per run() call instead).  Dispatch discriminates deferred
+        ``(fn, arg)`` calls from event deliveries with a single
+        ``type(target) is tuple`` check; event deliveries drain the single
+        ``_cb`` slot without allocating or swapping lists.
         """
         heap = self._heap
+        pop = heapq.heappop
+        push = _heappush
+        limit = _INF if until is None else until
         # Host profiler, hoisted once per run() call (installed before the
         # loop starts; see repro.perf.zones).  The zone wraps one dispatch —
         # the synchronous host work of delivering an event, including every
         # process step it triggers — and unwind() guarantees the zone stack
         # survives exceptions tearing through a callback.
         perf = _perf_zones.PROFILER
-        while heap:
-            if self._pending_error is not None:
-                err, self._pending_error = self._pending_error, None
-                raise err
-            when, _rank, _seq, target, value = heap[0]
-            if until is not None and when > until:
-                self._now = until
-                return
-            heapq.heappop(heap)
-            self._now = when
-            tok = perf.enter("kernel.dispatch") if perf is not None else 0
-            if isinstance(target, Event):
-                if value is not _PENDING:
-                    # A timer-style entry: trigger the event now.
-                    if not target.triggered:
+        if perf is None:
+            while heap:
+                if self._pending_error is not None:
+                    err, self._pending_error = self._pending_error, None
+                    raise err
+                entry = pop(heap)
+                when = entry[0]
+                if when > limit:
+                    push(heap, entry)
+                    self._now = until
+                    return
+                self._now = when
+                target = entry[3]
+                if type(target) is tuple:
+                    target[0](target[1])
+                else:
+                    value = entry[4]
+                    if value is not _PENDING and target._value is _PENDING:
+                        # A timer-style entry: trigger the event now.
                         target._value = value
                         target._ok = True
-                    # fall through to deliver callbacks
-                callbacks, target._callbacks = target._callbacks, []
-                for fn in callbacks:
-                    fn(target)
-            else:
-                fn, arg = target
-                fn(arg)
-            if perf is not None:
+                    cb = target._cb
+                    if cb is not None:
+                        target._cb = None
+                        if type(cb) is list:
+                            for fn in cb:
+                                fn(target)
+                        else:
+                            cb(target)
+        else:
+            while heap:
+                if self._pending_error is not None:
+                    err, self._pending_error = self._pending_error, None
+                    raise err
+                entry = pop(heap)
+                when = entry[0]
+                if when > limit:
+                    push(heap, entry)
+                    self._now = until
+                    return
+                self._now = when
+                tok = perf.enter("kernel.dispatch")
+                target = entry[3]
+                if type(target) is tuple:
+                    target[0](target[1])
+                else:
+                    value = entry[4]
+                    if value is not _PENDING and target._value is _PENDING:
+                        target._value = value
+                        target._ok = True
+                    cb = target._cb
+                    if cb is not None:
+                        target._cb = None
+                        if type(cb) is list:
+                            for fn in cb:
+                                fn(target)
+                        else:
+                            cb(target)
                 perf.unwind(tok)
         if self._pending_error is not None:
             err, self._pending_error = self._pending_error, None

@@ -19,7 +19,7 @@ breakdown of Figure 6 (WAL / MemTable / WAL lock / MemTable lock / Others).
 from collections import defaultdict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.sim.core import Event, SimError, Simulator
+from repro.sim.core import _PENDING, Event, SimError, Simulator, _heappush
 from repro.sim.stats import UtilizationTracker
 from repro.sim.wakeup import wake
 from repro.trace.tracer import thread_track
@@ -72,8 +72,9 @@ class ThreadContext:
     def account_busy(self, category: str, dt: float) -> None:
         self.busy_time += dt
         self.busy_by_category[category] += dt
-        if self.perf is not None:
-            self.perf.add("cpu_busy_seconds", dt)
+        perf = self.perf
+        if perf is not None:
+            perf.cpu_busy_seconds += dt
         if self.sim is not None and dt > 0:
             tracer = self.sim.tracer
             if tracer.enabled:
@@ -131,6 +132,9 @@ class CPUSet:
         #: what-if knob (see repro.critpath.whatif): burst durations for a
         #: category are multiplied by its factor.  Empty = exact baseline.
         self.category_scale: Dict[str, float] = {}
+        #: per-core tracer/edge track names, formatted once instead of per
+        #: burst ("cores:core-3" strings were a measurable share of _finish).
+        self._tracks: List[str] = ["cores:core-%d" % c for c in range(n_cores)]
 
     # -- thread management -------------------------------------------------
 
@@ -153,21 +157,58 @@ class CPUSet:
             raise SimError("negative CPU burst")
         if self.category_scale:
             duration *= self.category_scale.get(category, 1.0)
-        ev = self.sim.event()
-        initiator = self.sim.current_process
-        edgelog = self.sim.edgelog
+        sim = self.sim
+        ev = Event(sim)
+        edgelog = sim.edgelog
         if edgelog is not None:
-            edgelog.bind_track(ctx.track, initiator)
-        item = (ctx, duration, category, ev, self.sim.now, initiator)
+            edgelog.bind_track(ctx.track, sim.current_process)
         core = self._pick_core(ctx)
         if core is None:
-            if ctx.pinned is not None:
-                self._pinned_waiting[ctx.pinned].append(item)
-            else:
-                self._global_waiting.append(item)
-        else:
-            self._start(core, item)
+            self._enqueue(ctx, duration, category, ev)
+            return ev
+        # Immediate start (the common case: a core is free, so queued_at ==
+        # now and there is no queue wait to account).
+        if (
+            ctx.pinned is None
+            and ctx.last_core is not None
+            and ctx.last_core != core
+        ):
+            duration += self.migration_overhead
+        ctx.last_core = core
+        self._busy[core] = True
+        now = sim._now
+        if edgelog is None:
+            # Closure-free completion, heap push inlined (same ordering key
+            # as Simulator._call_later: next seq at now + duration).
+            sim._seq = seq = sim._seq + 1
+            rng = sim._perturb_rng
+            _heappush(
+                sim._heap,
+                (
+                    now + duration,
+                    rng.random() if rng is not None else 0.0,
+                    seq,
+                    (self._finish_fast, (core, ctx, now, duration, category, ev)),
+                    _PENDING,
+                ),
+            )
+            return ev
+        done = sim.timeout(duration)
+        initiator = sim.current_process
+        done.add_callback(
+            lambda _ev: self._finish(
+                core, ctx, now, duration, category, ev, now, initiator
+            )
+        )
         return ev
+
+    def _enqueue(self, ctx: ThreadContext, duration, category, ev) -> None:
+        sim = self.sim
+        item = (ctx, duration, category, ev, sim._now, sim.current_process)
+        if ctx.pinned is not None:
+            self._pinned_waiting[ctx.pinned].append(item)
+        else:
+            self._global_waiting.append(item)
 
     def _pick_core(self, ctx: ThreadContext) -> Optional[int]:
         if ctx.pinned is not None:
@@ -187,7 +228,8 @@ class CPUSet:
 
     def _start(self, core: int, item: Tuple) -> None:
         ctx, duration, category, ev, queued_at, initiator = item
-        now = self.sim.now
+        sim = self.sim
+        now = sim._now
         if queued_at < now:
             ctx.account_wait("cpu_queue", now - queued_at)
         if (
@@ -198,12 +240,69 @@ class CPUSet:
             duration += self.migration_overhead
         ctx.last_core = core
         self._busy[core] = True
-        done = self.sim.timeout(duration)
+        if sim.edgelog is None:
+            # Closure-free burst completion: same heap ordering key as the
+            # Timeout (one entry, next seq, now+duration), minus the Timeout
+            # event and per-burst closure.  Only valid with no edgelog — a
+            # Timeout stamps its wakeup edge at creation.
+            sim._call_later(
+                duration,
+                self._finish_fast,
+                (core, ctx, now, duration, category, ev),
+            )
+            return
+        done = sim.timeout(duration)
         done.add_callback(
             lambda _ev: self._finish(
                 core, ctx, now, duration, category, ev, queued_at, initiator
             )
         )
+
+    def _finish_fast(self, item: Tuple) -> None:
+        """Burst completion for the no-edgelog common case: identical
+        accounting (and tracer-event order) to :meth:`_finish` with
+        mark_busy/account_busy inlined, and the wake is a bare ``succeed``
+        (with no edgelog, :func:`wake` reduces to exactly that)."""
+        core, ctx, started, duration, category, ev = item
+        sim = self.sim
+        end = sim._now
+        tracker = self.trackers[core]
+        tracker.busy_time += end - started
+        series = tracker._series
+        if series is not None:
+            # Single-bin fast path of TimeSeries.add_interval (rate 1.0):
+            # identical arithmetic, saves the call for sub-bin bursts.
+            width = series.bin_width
+            first_bin = int(started / width)
+            if end <= (first_bin + 1) * width:
+                series._bins[first_bin] += (end - started) * 1.0
+            else:
+                series.add_interval(started, end, 1.0)
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                category,
+                "core",
+                self._tracks[core],
+                started,
+                end,
+                args={"thread": ctx.name},
+            )
+        ctx.busy_time += duration
+        ctx.busy_by_category[category] += duration
+        perf = ctx.perf
+        if perf is not None:
+            perf.cpu_busy_seconds += duration
+        if tracer.enabled and duration > 0:
+            tracer.complete(category, "busy", ctx.track, end - duration, end)
+        self.busy_by_kind[ctx.kind] += duration
+        self._busy[core] = False
+        pinned = self._pinned_waiting[core]
+        if pinned:
+            self._start(core, pinned.popleft())
+        elif self._global_waiting:
+            self._start(core, self._global_waiting.popleft())
+        ev.succeed(None)  # lint: disable=unlabeled-wakeup  (edgelog is None: wake() reduces to succeed)
 
     def _finish(
         self,
@@ -224,7 +323,7 @@ class CPUSet:
             tracer.complete(
                 category,
                 "core",
-                "cores:core-%d" % core,
+                self._tracks[core],
                 started,
                 end,
                 args={"thread": ctx.name},
@@ -241,7 +340,7 @@ class CPUSet:
             begin=started,
             queued_at=queued_at,
             initiator=initiator,
-            track="cores:core-%d" % core,
+            track=self._tracks[core],
         )
 
     def _dispatch(self, core: int) -> None:

@@ -37,6 +37,8 @@ class FIFOQueue:
         self.sim = sim
         self.name = name
         self._san_key = "queue:%s#%d" % (name, next(_instance_counter))
+        #: edge resource label, formatted once (put/get are per-request hot).
+        self._resource = "queue:%s" % name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Tuple[Event, float]] = deque()
         self.total_enqueued = 0
@@ -55,28 +57,37 @@ class FIFOQueue:
         ``put``/``get`` model a thread-safe (internally locked) queue, so a
         monitor sees them as synchronization edges.
         """
-        monitor = self.sim.monitor
+        sim = self.sim
+        monitor = sim.monitor
         if monitor is not None:
             monitor.on_sync(self)
         self.total_enqueued += 1
         if self._getters:
             ev, since = self._getters.popleft()
-            wake(ev, item, resource="queue:%s" % self.name, queued_at=since)
+            if sim.edgelog is None:
+                ev.succeed(item)  # lint: disable=unlabeled-wakeup  (no edgelog: wake() reduces to succeed)
+            else:
+                wake(ev, item, resource=self._resource, queued_at=since)
             return
-        self._items.append(item)
-        if len(self._items) > self.max_depth:
-            self.max_depth = len(self._items)
+        items = self._items
+        items.append(item)
+        if len(items) > self.max_depth:
+            self.max_depth = len(items)
 
     def get(self) -> Event:
         """Return an event yielding the next item (blocks while empty)."""
-        monitor = self.sim.monitor
+        sim = self.sim
+        monitor = sim.monitor
         if monitor is not None:
             monitor.on_sync(self)
-        ev = self.sim.event()
+        ev = Event(sim)
         if self._items:
-            wake(ev, self._items.popleft(), resource="queue:%s" % self.name)
+            if sim.edgelog is None:
+                ev.succeed(self._items.popleft())  # lint: disable=unlabeled-wakeup  (no edgelog: wake() reduces to succeed)
+            else:
+                wake(ev, self._items.popleft(), resource=self._resource)
         else:
-            self._getters.append((ev, self.sim.now))
+            self._getters.append((ev, sim._now))
         return ev
 
     # peek/try_pop are the OBM's lock-free head inspection (Algorithm 1):

@@ -99,11 +99,19 @@ class TimeSeries:
         """Spread a rate over [start, end), splitting across bin boundaries."""
         if end <= start:
             return
+        width = self.bin_width
+        first_bin = int(start / width)
+        if end <= (first_bin + 1) * width:
+            # Entire interval inside one bin — the common case for micro
+            # bursts against the 0.1 ms stats bin; same arithmetic as one
+            # iteration of the split loop below (seg_end == end).
+            self._bins[first_bin] += (end - start) * amount_per_second
+            return
         t = start
         while t < end:
-            bin_end = (int(t / self.bin_width) + 1) * self.bin_width
+            bin_end = (int(t / width) + 1) * width
             seg_end = min(end, bin_end)
-            self._bins[int(t / self.bin_width)] += (seg_end - t) * amount_per_second
+            self._bins[int(t / width)] += (seg_end - t) * amount_per_second
             t = seg_end
 
     def rates(self) -> List[Tuple[float, float]]:

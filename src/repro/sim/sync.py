@@ -37,6 +37,8 @@ class Lock:
     def __init__(self, sim: Simulator, name: str = "lock"):
         self.sim = sim
         self.name = name
+        #: edge resource label, formatted once (acquire/release are hot).
+        self._resource = "lock:%s" % name
         self._locked = False
         self._owner = None  # Process holding the lock, when acquired inside one
         self._waiters: Deque[Tuple[Event, Optional[object], Optional[str], float, object]] = deque()
@@ -53,7 +55,7 @@ class Lock:
     def acquire(self, ctx=None, category: Optional[str] = None) -> Event:
         """Return an event that triggers once the lock is held by the caller."""
         sim = self.sim
-        ev = sim.event()
+        ev = Event(sim)
         proc = sim.current_process
         monitor = sim.monitor
         if monitor is not None:
@@ -63,7 +65,10 @@ class Lock:
             self._grant(proc)
             if monitor is not None:
                 monitor.on_sync(self)
-            wake(ev, resource="lock:%s" % self.name, category=category or "")
+            if sim.edgelog is None:
+                ev.succeed(None)  # lint: disable=unlabeled-wakeup  (no edgelog: wake() reduces to succeed)
+            else:
+                wake(ev, resource=self._resource, category=category or "")
         else:
             self._waiters.append((ev, ctx, category, sim.now, proc))
         return ev
@@ -90,7 +95,7 @@ class Lock:
             self._grant(proc)
             wake(
                 ev,
-                resource="lock:%s" % self.name,
+                resource=self._resource,
                 category=category or "",
                 queued_at=since,
             )
@@ -106,6 +111,7 @@ class Semaphore:
             raise SimError("semaphore capacity must be >= 1")
         self.sim = sim
         self.name = name
+        self._resource = "sem:%s" % name
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Tuple[Event, float]] = deque()
@@ -121,7 +127,7 @@ class Semaphore:
             monitor.on_sync(self)
         if self._in_use < self.capacity:
             self._in_use += 1
-            wake(ev, resource="sem:%s" % self.name)
+            wake(ev, resource=self._resource)
         else:
             self._waiters.append((ev, self.sim.now))
         return ev
@@ -134,7 +140,7 @@ class Semaphore:
             monitor.on_sync(self)
         if self._waiters:
             ev, since = self._waiters.popleft()
-            wake(ev, resource="sem:%s" % self.name, queued_at=since)
+            wake(ev, resource=self._resource, queued_at=since)
         else:
             self._in_use -= 1
 
@@ -151,6 +157,7 @@ class Condition:
     def __init__(self, sim: Simulator, name: str = "cond"):
         self.sim = sim
         self.name = name
+        self._resource = "cond:%s" % name
         self._waiters: Deque[Tuple[Event, float, Optional[str]]] = deque()
 
     def wait(self, ctx=None, category: Optional[str] = None) -> Event:
@@ -166,17 +173,23 @@ class Condition:
         return ev
 
     def notify(self, n: int = 1) -> None:
-        monitor = self.sim.monitor
-        if monitor is not None and self._waiters:
+        sim = self.sim
+        waiters = self._waiters
+        monitor = sim.monitor
+        if monitor is not None and waiters:
             monitor.on_sync(self)
-        for _ in range(min(n, len(self._waiters))):
-            ev, since, category = self._waiters.popleft()
-            wake(
-                ev,
-                resource="cond:%s" % self.name,
-                category=category or "",
-                queued_at=since,
-            )
+        fast = sim.edgelog is None
+        for _ in range(min(n, len(waiters))):
+            ev, since, category = waiters.popleft()
+            if fast:
+                ev.succeed(None)  # lint: disable=unlabeled-wakeup  (no edgelog: wake() reduces to succeed)
+            else:
+                wake(
+                    ev,
+                    resource=self._resource,
+                    category=category or "",
+                    queued_at=since,
+                )
 
     def notify_all(self) -> None:
         self.notify(len(self._waiters))
@@ -208,5 +221,5 @@ class Barrier:
         self._arrived += 1
         ev = self._event
         if self._arrived >= self.parties:
-            wake(ev, resource="barrier:%s" % self.name)
+            wake(ev, resource="barrier:%s" % self.name)  # cold: once per barrier
         return ev

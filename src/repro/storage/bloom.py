@@ -17,8 +17,7 @@ __all__ = ["BloomFilter"]
 def _fnv1a(data: bytes) -> int:
     h = 0xCBF29CE484222325
     for b in data:
-        h ^= b
-        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
     return h
 
 
@@ -50,16 +49,22 @@ class BloomFilter:
 
     def may_contain(self, key: bytes) -> bool:
         _p = _perf_zones.PROFILER
-        if _p is None:
-            return all(
-                self._bits[pos >> 3] & (1 << (pos & 7))
-                for pos in self._positions(key)
-            )
-        _p.enter("storage.bloom.probe")
-        hit = all(
-            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
-        )
-        _p.leave()
+        if _p is not None:
+            _p.enter("storage.bloom.probe")
+        # Probe loop inlined (no _positions generator): same double-hashing
+        # positions, early exit on the first clear bit.
+        bits = self._bits
+        n_bits = self.n_bits
+        h1 = zlib.crc32(key) & 0xFFFFFFFF
+        h2 = _fnv1a(key) | 1
+        hit = True
+        for i in range(self.n_probes):
+            pos = (h1 + i * h2) % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                hit = False
+                break
+        if _p is not None:
+            _p.leave()
         return hit
 
     @property

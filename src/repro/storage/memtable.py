@@ -14,6 +14,7 @@ against a sorted-dict model).
 """
 
 import random
+from bisect import bisect_left
 from typing import Iterator, List, Optional, Tuple
 
 from repro.perf import zones as _perf_zones
@@ -125,10 +126,22 @@ ENTRY_OVERHEAD = 24
 
 
 class MemTable:
-    """Multi-version sorted write buffer, flushed to an SSTable when full."""
+    """Multi-version sorted write buffer, flushed to an SSTable when full.
+
+    Internally a bisect-maintained sorted array of internal keys with a
+    parallel value array: identical ordering and visibility semantics to the
+    reference :class:`SkipList` (which remains the property-tested model),
+    but inserts and probes are C-level ``bisect``/``memmove`` operations —
+    the memtable's *simulated* skiplist cost is charged by the engine's cost
+    model, not by host-side pointer chasing.
+    """
 
     def __init__(self, seed: int = 0, sim=None, track: str = ""):
-        self._list = SkipList(seed)
+        # ``seed`` is accepted for API compatibility with the SkipList-backed
+        # implementation (its RNG was private, so dropping the draws cannot
+        # perturb any other seeded stream).
+        self._keys: List[Tuple[bytes, int]] = []
+        self._vals: List[Tuple[int, bytes]] = []
         # Simulator handle (optional) so inserts can emit trace instants.
         self._sim = sim
         self._track = track
@@ -151,7 +164,10 @@ class MemTable:
         if _p is not None:
             _p.enter("storage.memtable.insert")
         # Internal key (key, MAX_SEQ - seq) sorts newer versions first.
-        self._list.insert((key, MAX_SEQ - seq), (vtype, value))
+        ikey = (key, MAX_SEQ - seq)
+        i = bisect_left(self._keys, ikey)
+        self._keys.insert(i, ikey)
+        self._vals.insert(i, (vtype, value))
         self.approximate_size += len(key) + len(value) + ENTRY_OVERHEAD
         self.entry_count += 1
         if self.first_seq is None:
@@ -166,27 +182,32 @@ class MemTable:
         Returns (state, value): (FOUND, value), (DELETED, None) or
         (NOT_FOUND, None).
         """
+        keys = self._keys
         _p = _perf_zones.PROFILER
         if _p is None:
-            node = self._list._find_ge((key, MAX_SEQ - snapshot_seq))
+            i = bisect_left(keys, (key, MAX_SEQ - snapshot_seq))
         else:
             _p.enter("storage.memtable.search")
-            node = self._list._find_ge((key, MAX_SEQ - snapshot_seq))
+            i = bisect_left(keys, (key, MAX_SEQ - snapshot_seq))
             _p.leave()
-        if node is None or node[0][0] != key:
+        if i == len(keys) or keys[i][0] != key:
             return NOT_FOUND, None
-        vtype, value = node[1]
+        vtype, value = self._vals[i]
         if vtype == VTYPE_DELETE:
             return DELETED, None
         return FOUND, value
 
     def entries(self) -> Iterator[Tuple[bytes, int, int, bytes]]:
         """All versions, ordered (key asc, seq desc): (key, seq, vtype, value)."""
-        for (key, inv_seq), (vtype, value) in self._list:
+        for (key, inv_seq), (vtype, value) in zip(self._keys, self._vals):
             yield key, MAX_SEQ - inv_seq, vtype, value
 
     def iter_from(self, key: bytes) -> Iterator[Tuple[bytes, int, int, bytes]]:
-        for (k, inv_seq), (vtype, value) in self._list.iter_from((key, 0)):
+        keys = self._keys
+        vals = self._vals
+        for i in range(bisect_left(keys, (key, 0)), len(keys)):
+            k, inv_seq = keys[i]
+            vtype, value = vals[i]
             yield k, MAX_SEQ - inv_seq, vtype, value
 
     def __len__(self) -> int:

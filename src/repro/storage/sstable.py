@@ -107,16 +107,16 @@ class SSTable:
         cache_key = (self.number, idx)
         if cache is not None and cache.get(cache_key) is not None:
             if perf is not None:
-                perf.add("block_cache_hits")
+                perf.block_cache_hits += 1
             return block
         if perf is not None:
-            perf.add("block_cache_misses")
+            perf.block_cache_misses += 1
         if page_cache is not None and page_cache.get(cache_key) is not None:
             yield device.ram_read(block.nbytes)
         else:
             if perf is not None:
-                perf.add("ios_issued")
-                perf.add("io_bytes", block.nbytes)
+                perf.ios_issued += 1
+                perf.io_bytes += block.nbytes
             yield device.read(block.nbytes, category="read", random=True)
             if page_cache is not None:
                 page_cache.put(cache_key, True, block.nbytes)

@@ -19,20 +19,29 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.engine import make_env
 from repro.harness import preload, run_closed_loop
+from repro.systems import describe_options, format_system_options
 from repro.systems import open_system as open_named_system
 from repro.systems import system_names
-from repro.critpath import (
-    critpath_report,
-    install_edgelog,
-    makespan_path,
-    path_trace_extras,
-)
+from repro.critpath import install_edgelog
 from repro.harness.report import format_attribution, format_blame_table, format_qps, format_table
-from repro.metrics import install_stats, write_stats_files
 from repro.perf import zones as _perf_zones
-from repro.sim.device import HDD_WD100EFAX, OPTANE_905P, SATA_860PRO
+from repro.tools.common import (
+    DEVICES,
+    add_critpath_args,
+    add_profile_args,
+    add_stats_args,
+    check_sanitizer,
+    critpath_trace_extras,
+    export_critpath,
+    export_stats,
+    finish_profile,
+    install_stats_if_requested,
+    make_env_from_args,
+    observability_parent,
+    start_profile,
+    trace_path,
+)
 from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import (
     fillrandom,
@@ -46,7 +55,6 @@ from repro.workloads import (
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readseq", "readrandom", "scan")
 SYSTEMS = tuple(system_names())
-DEVICES = {"nvme": OPTANE_905P, "sata": SATA_860PRO, "hdd": HDD_WD100EFAX}
 
 #: benchmarks that need a preloaded dataset before the measured phase.
 NEEDS_PRELOAD = {"overwrite", "readseq", "readrandom", "scan"}
@@ -56,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.dbbench",
         description="db_bench-style benchmarks on the simulated machine",
+        # The shared observability/determinism flag group (--trace-out,
+        # --stats*, --critpath*, --sanitize, --profile*, --schedule-seed)
+        # comes from the one argparse parent in repro.tools.common.
+        parents=[observability_parent()],
+        epilog=format_system_options(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--benchmarks",
@@ -84,199 +98,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="p2kvs asynchronous write window (0 = synchronous)",
     )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="attach the lock-order and data-race sanitizers; exit non-zero "
-        "on any finding (see docs/ANALYSIS.md)",
-    )
-    parser.add_argument(
-        "--schedule-seed",
-        type=int,
-        default=None,
-        metavar="N",
-        help="perturb same-time event delivery order with seed N; results "
-        "must be identical for every N (determinism check)",
-    )
     parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
-    parser.add_argument(
-        "--trace-out",
-        metavar="PATH",
-        help="record a request-level trace and write Chrome trace-event JSON "
-        "(load in ui.perfetto.dev; see docs/TRACING.md); with several "
-        "benchmarks the benchmark name is appended to the file name",
-    )
-    add_stats_args(parser)
-    add_critpath_args(parser)
-    add_profile_args(parser)
     return parser
 
 
-def add_profile_args(parser: argparse.ArgumentParser) -> None:
-    """The shared --profile flag family (dbbench + ycsb + serve;
-    docs/PROFILING.md).  Profile output goes to stderr / its own file, so
-    the sim-side report on stdout is byte-identical with or without it."""
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="attach the host wall-clock zone profiler and print the "
-        "per-subsystem wall-time tree to stderr; simulated results are "
-        "unaffected (see docs/PROFILING.md)",
-    )
-    parser.add_argument(
-        "--profile-out",
-        metavar="PATH",
-        help="write the zone report as JSON (implies --profile)",
-    )
-
-
-def _start_profile(args):
-    """Install the zone profiler when --profile[-out] was given (else None)."""
-    if not (getattr(args, "profile", False) or getattr(args, "profile_out", None)):
-        return None
-    return _perf_zones.install()
-
-
-def _finish_profile(args, profiler) -> None:
-    """Stop profiling; print the zone tree to stderr, write --profile-out."""
-    if profiler is None:
-        return
-    from repro.perf import format_zone_tree
-
-    _perf_zones.uninstall()
-    snapshot = profiler.snapshot()
-    print(format_zone_tree(snapshot), file=sys.stderr)
-    out = getattr(args, "profile_out", None)
-    if out:
-        with open(out, "w") as f:
-            json.dump(snapshot, f, indent=2)
-        print("wrote profile %s" % out, file=sys.stderr)
-
-
-def add_critpath_args(parser: argparse.ArgumentParser) -> None:
-    """The shared --critpath flag family (dbbench + ycsb; docs/CRITPATH.md)."""
-    parser.add_argument(
-        "--critpath",
-        action="store_true",
-        help="record wakeup edges and extract per-request critical paths; "
-        "prints a blame ranking and, with --trace-out, draws the makespan "
-        "path as Perfetto flow arrows",
-    )
-    parser.add_argument(
-        "--critpath-out",
-        metavar="BASE",
-        default="critpath",
-        help="base path for the critical-path report: BASE.json; with "
-        "several benchmarks the benchmark name is appended",
-    )
-
-
-def add_stats_args(parser: argparse.ArgumentParser) -> None:
-    """The shared --stats flag family (dbbench + ycsb; see docs/METRICS.md)."""
-    parser.add_argument(
-        "--stats",
-        action="store_true",
-        help="enable the observability layer: per-request perf contexts plus "
-        "a sim-time gauge sampler over the measured window",
-    )
-    parser.add_argument(
-        "--stats-interval-ms",
-        type=float,
-        default=10.0,
-        metavar="MS",
-        help="sampler cadence in *virtual* milliseconds (default 10)",
-    )
-    parser.add_argument(
-        "--stats-out",
-        metavar="BASE",
-        default="stats",
-        help="base path for the exports: BASE.json (registry snapshot), "
-        "BASE.prom (Prometheus text), BASE.csv (sampled time series); with "
-        "several benchmarks the benchmark name is appended",
-    )
-
-
-def _install_stats(env, args):
-    if not getattr(args, "stats", False):
-        return None
-    return install_stats(env, interval_ms=args.stats_interval_ms)
-
-
-def _export_stats(env, sampler, base: str, result: dict) -> None:
-    """Write the three stats artifacts and fold summaries into the result."""
-    if sampler is None:
-        return
-    from repro.harness.report import format_stall_timeline
-
-    result["stats_files"] = write_stats_files(env.metrics, base, sampler)
-    result["counters"] = env.metrics.counter_values()
-    result["events"] = env.metrics.events.summary()
-    result["stall_timeline"] = format_stall_timeline(
-        sampler, env.metrics.events, n_cores=env.cpu.n_cores
-    )
-
-
-def _export_critpath(edgelog, tracer, window, base: str, result: dict) -> None:
-    """Extract the critical-path report, write BASE.json, fold into result."""
-    report = critpath_report(edgelog, tracer, window)
-    result["critpath"] = report
-    path = base + ".json"
-    with open(path, "w") as f:
-        json.dump(report, f, indent=2)
-    result["critpath_file"] = path
-
-
-def _critpath_trace_extras(edgelog, tracer, window):
-    """The makespan path rendered for the Chrome exporter (slices + flow)."""
-    backbone = makespan_path(edgelog, tracer, window)
-    if backbone is None:
-        return (), ()
-    return path_trace_extras(backbone, name="makespan")
-
-
-def _trace_path(base: str, name: str, multiple: bool) -> str:
-    if not multiple:
-        return base
-    root, dot, ext = base.rpartition(".")
-    if dot:
-        return "%s-%s.%s" % (root, name, ext)
-    return "%s-%s" % (base, name)
-
-
-def _make_env(args):
-    page_cache = (
-        int(args.page_cache_mb * 1024 * 1024)
-        if args.page_cache_mb is not None
-        else 1 << 40
-    )
-    env = make_env(
-        n_cores=args.cores,
-        device_spec=DEVICES[args.device],
-        page_cache_bytes=page_cache,
-    )
-    if getattr(args, "schedule_seed", None) is not None:
-        env.sim.perturb_schedule(args.schedule_seed)
-    if getattr(args, "sanitize", False):
-        from repro.analysis.sanitizer import install_sanitizer
-
-        install_sanitizer(env)
-    return env
-
-
-def _check_sanitizer(env) -> None:
-    """Fail the run (SanitizerError) if --sanitize recorded any finding."""
-    monitor = env.sim.monitor
-    if monitor is not None and hasattr(monitor, "check"):
-        monitor.check()
+# Historical names: ycsb/serve/whatif and older tests grew against these
+# dbbench-hosted helpers before they moved to repro.tools.common.
+_check_sanitizer = check_sanitizer
+_critpath_trace_extras = critpath_trace_extras
+_export_critpath = export_critpath
+_export_stats = export_stats
+_finish_profile = finish_profile
+_install_stats = install_stats_if_requested
+_make_env = make_env_from_args
+_start_profile = start_profile
+_trace_path = trace_path
 
 
 def _build_system(env, args):
+    # The CLI exposes one flag surface for all systems; open_system is
+    # strict, so forward only the options this system declares (passing
+    # workers to single-instance RocksDB would now raise).
+    requested = {
+        "workers": args.workers,
+        "obm": not args.no_obm,
+        "async_window": args.async_window,
+    }
+    supported = describe_options(args.system)
     return open_named_system(
         args.system,
         env,
-        workers=args.workers,
-        obm=not args.no_obm,
-        async_window=args.async_window,
+        **{k: v for k, v in requested.items() if k in supported}
     )
 
 

@@ -52,6 +52,7 @@ from repro.monitor import (
     write_detection_report,
 )
 from repro.sim.device import OPTANE_905P, SATA_860PRO
+from repro.tools.common import finish_profile, observability_parent, start_profile
 
 DEVICES = {"nvme": OPTANE_905P, "sata": SATA_860PRO}
 
@@ -298,10 +299,25 @@ def run_scenario(spec: dict, fault_seed: int) -> dict:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Only the --profile family of the shared observability group applies
+    # here: the campaign runs many short envs, so per-env stats/trace
+    # exports make no sense, and --schedule-seed's identical-for-every-N
+    # contract cannot hold — a crash armed at the Nth site hit fires on a
+    # different write when same-time IOs are reordered, legitimately
+    # changing the durable snapshot under test.
     parser = argparse.ArgumentParser(
         prog="repro.tools.faultbench",
         description="fault-injection & crash-recovery campaign "
         "(docs/FAULTS.md)",
+        parents=[
+            observability_parent(
+                trace=False,
+                stats=False,
+                critpath=False,
+                sanitize=False,
+                schedule_seed=False,
+            )
+        ],
     )
     parser.add_argument("--fault-seed", type=int, default=7)
     parser.add_argument(
@@ -338,6 +354,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         specs = [by_name[n] for n in args.scenario]
 
+    profiler = start_profile(args)
     results = []
     failed = 0
     undetected = 0
@@ -408,6 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.detection_out,
         )
         print("wrote %s" % args.detection_out)
+    finish_profile(args, profiler)
     print(
         "%d/%d scenarios passed, %d/%d faults detected"
         % (

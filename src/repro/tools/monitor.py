@@ -26,15 +26,23 @@ from typing import List, Optional
 
 from repro.monitor import render_narrative, write_detection_report
 from repro.tools import serve as serve_tool
+from repro.tools.common import finish_profile, observability_parent, start_profile
 
 __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Shared flag group: run mode is a veneer over serve, so the sanitizer,
+    # profiler and schedule-seed flags pass straight through to it; the
+    # stats/trace/critpath families stay serve-only (their artifacts belong
+    # to the full SLO run, not the monitor narrative).
     parser = argparse.ArgumentParser(
         prog="repro.tools.monitor",
         description="run a monitored service scenario, or replay a monitor "
         "document (docs/MONITOR.md)",
+        parents=[
+            observability_parent(trace=False, stats=False, critpath=False)
+        ],
     )
     parser.add_argument(
         "--replay",
@@ -66,14 +74,6 @@ def build_parser() -> argparse.ArgumentParser:
         "scored detection exercise",
     )
     parser.add_argument("--fault-seed", type=int, default=0)
-    parser.add_argument(
-        "--schedule-seed",
-        type=int,
-        default=None,
-        metavar="N",
-        help="perturb same-time delivery order; the monitor document must "
-        "be byte-identical for every N",
-    )
     parser.add_argument(
         "--expect-clean",
         action="store_true",
@@ -115,6 +115,8 @@ def _serve_argv(args) -> List[str]:
                  "--fault-seed", str(args.fault_seed)]
     if args.schedule_seed is not None:
         argv += ["--schedule-seed", str(args.schedule_seed)]
+    if args.sanitize:
+        argv += ["--sanitize"]
     return argv
 
 
@@ -126,7 +128,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Reuse the serve tool's scenario runner end to end (same defaults,
     # same report) with the monitor attached.
     serve_args = serve_tool.build_parser().parse_args(_serve_argv(args))
+    profiler = start_profile(args)
     report = serve_tool.run_scenario(serve_args)
+    finish_profile(args, profiler)
     health = report["health"]
     detection = report["detection"]
 

@@ -32,14 +32,27 @@ from typing import List, Optional
 
 from repro.perf import StackSampler, format_zone_tree, zones as _zones
 from repro.perf.tax import LAYERS, PINNED, format_tax, measure_tax, run_workload
+from repro.tools.common import observability_parent
 
 __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Of the shared observability group only --schedule-seed applies: this
+    # tool IS the profiler (its own flags subsume --profile), and the
+    # trace/stats/critpath artifacts belong to the benchmark CLIs.
     parser = argparse.ArgumentParser(
         prog="repro.tools.profile",
         description="host wall-clock profiling of the simulator itself",
+        parents=[
+            observability_parent(
+                trace=False,
+                stats=False,
+                critpath=False,
+                profile=False,
+                sanitize=False,
+            )
+        ],
     )
     parser.add_argument(
         "--num",
@@ -97,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_tax(args) -> int:
-    report = measure_tax(num=args.num)
+    report = measure_tax(num=args.num, schedule_seed=args.schedule_seed)
     print(format_tax(report))
     if args.tax_json:
         with open(args.tax_json, "w") as f:
@@ -116,7 +129,7 @@ def _run_zones(args) -> int:
     if sampler is not None:
         sampler.start()
     try:
-        run_workload("off", num=args.num)
+        run_workload("off", num=args.num, schedule_seed=args.schedule_seed)
     finally:
         if sampler is not None:
             sampler.stop()

@@ -48,19 +48,17 @@ from repro.service import (
     write_report,
 )
 from repro.service.scenarios import SCENARIOS
-from repro.tools.dbbench import (
+from repro.tools.common import (
     DEVICES,
-    _check_sanitizer,
-    _critpath_trace_extras,
-    _export_critpath,
-    _export_stats,
-    _finish_profile,
-    _install_stats,
-    _make_env,
-    _start_profile,
-    add_critpath_args,
-    add_profile_args,
-    add_stats_args,
+    check_sanitizer,
+    critpath_trace_extras,
+    export_critpath,
+    export_stats,
+    finish_profile,
+    install_stats_if_requested,
+    make_env_from_args,
+    observability_parent,
+    start_profile,
 )
 from repro.trace import install_tracer, write_chrome_trace
 
@@ -69,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.serve",
         description="SLO benchmark for the sharded p2KVS service plane",
+        parents=[observability_parent(monitor=True)],
         epilog="scenarios: "
         + "; ".join("%s — %s" % (n, SCENARIOS[n]) for n in scenario_names()),
     )
@@ -116,20 +115,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="attach the lock-order and data-race sanitizers; exit non-zero "
-        "on any finding (see docs/ANALYSIS.md)",
-    )
-    parser.add_argument(
-        "--schedule-seed",
-        type=int,
-        default=None,
-        metavar="N",
-        help="perturb same-time event delivery order with seed N; the SLO "
-        "report must be identical for every N (determinism check)",
-    )
-    parser.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -141,49 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fault-seed", type=int, default=0, help="fault injection RNG seed"
     )
-    parser.add_argument(
-        "--monitor",
-        action="store_true",
-        help="attach the online health monitor (windowed telemetry + alert "
-        "rules, see docs/MONITOR.md); embeds the incident timeline in the "
-        "report and prints the incident narrative",
-    )
-    parser.add_argument(
-        "--monitor-window-ms",
-        type=float,
-        default=0.1,
-        metavar="MS",
-        help="monitor telemetry window in milliseconds of simulated time "
-        "(default: 0.1)",
-    )
-    parser.add_argument(
-        "--monitor-out",
-        metavar="PATH",
-        help="write the monitor document (timeline + detection) as JSON",
-    )
     parser.add_argument("--json", metavar="PATH", help="write the SLO report as JSON")
     parser.add_argument(
         "--csv", metavar="PATH", help="write the per-shard ledger as CSV"
     )
-    parser.add_argument(
-        "--trace-out",
-        metavar="PATH",
-        help="record a request-level trace and write Chrome trace-event JSON "
-        "(load in ui.perfetto.dev; see docs/TRACING.md)",
-    )
-    add_stats_args(parser)
-    add_critpath_args(parser)
-    add_profile_args(parser)
     return parser
 
 
 def run_scenario(args) -> dict:
-    env = _make_env(args)
+    env = make_env_from_args(args)
     tracer = (
         install_tracer(env) if (args.trace_out or args.critpath) else None
     )
     edgelog = install_edgelog(env) if args.critpath else None
-    sampler = _install_stats(env, args)
+    sampler = install_stats_if_requested(env, args)
     spec = build_scenario(
         args.scenario,
         n_ops=args.ops,
@@ -226,7 +182,7 @@ def run_scenario(args) -> dict:
         monitor=monitor,
     )
     window = (t0, t0 + run_facts["makespan"])
-    _check_sanitizer(env)
+    check_sanitizer(env)
     report = build_slo_report(plane, run_facts, spec)
     report["shards_opened"] = plane.shard_names()
     if monitor is not None:
@@ -247,7 +203,7 @@ def run_scenario(args) -> dict:
         extras["monitor_file"] = args.monitor_out
     if tracer is not None and args.trace_out:
         spans, flows = (
-            _critpath_trace_extras(edgelog, tracer, window)
+            critpath_trace_extras(edgelog, tracer, window)
             if edgelog is not None
             else ((), ())
         )
@@ -255,9 +211,9 @@ def run_scenario(args) -> dict:
             tracer, args.trace_out, extra_spans=spans, flows=flows
         )
     if edgelog is not None:
-        _export_critpath(edgelog, tracer, window, args.critpath_out, extras)
+        export_critpath(edgelog, tracer, window, args.critpath_out, extras)
     if sampler is not None:
-        _export_stats(env, sampler, args.stats_out, extras)
+        export_stats(env, sampler, args.stats_out, extras)
     report["_artifacts"] = extras
     return report
 
@@ -353,9 +309,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shards < 1:
         print("need at least one shard", file=sys.stderr)
         return 2
-    profiler = _start_profile(args)
+    profiler = start_profile(args)
     report = run_scenario(args)
-    _finish_profile(args, profiler)
+    finish_profile(args, profiler)
     artifacts = report.pop("_artifacts")
     _print_report(report)
     if "health" in report:

@@ -20,23 +20,21 @@ from typing import List, Optional
 from repro.critpath import install_edgelog
 from repro.harness import preload, run_closed_loop
 from repro.harness.report import format_attribution, format_blame_table, format_qps, format_table
-from repro.tools.dbbench import (
+from repro.systems import format_system_options
+from repro.tools.common import (
     DEVICES,
-    SYSTEMS,
-    _build_system,
-    _check_sanitizer,
-    _critpath_trace_extras,
-    _export_critpath,
-    _export_stats,
-    _finish_profile,
-    _install_stats,
-    _make_env,
-    _start_profile,
-    _trace_path,
-    add_critpath_args,
-    add_profile_args,
-    add_stats_args,
+    check_sanitizer,
+    critpath_trace_extras,
+    export_critpath,
+    export_stats,
+    finish_profile,
+    install_stats_if_requested,
+    make_env_from_args,
+    observability_parent,
+    start_profile,
+    trace_path,
 )
+from repro.tools.dbbench import SYSTEMS, _build_system
 from repro.trace import install_tracer, write_chrome_trace
 from repro.workloads import WORKLOADS, YCSBWorkload
 
@@ -47,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.ycsb",
         description="YCSB workloads (paper Table 1) on the simulated machine",
+        parents=[observability_parent()],
+        epilog=format_system_options(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--workload",
@@ -65,30 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-obm", action="store_true")
     parser.add_argument("--async-window", type=int, default=0)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="attach the lock-order and data-race sanitizers; exit non-zero "
-        "on any finding (see docs/ANALYSIS.md)",
-    )
-    parser.add_argument(
-        "--schedule-seed",
-        type=int,
-        default=None,
-        metavar="N",
-        help="perturb same-time event delivery order with seed N; results "
-        "must be identical for every N (determinism check)",
-    )
     parser.add_argument("--json", metavar="PATH")
-    parser.add_argument(
-        "--trace-out",
-        metavar="PATH",
-        help="record a request-level trace and write Chrome trace-event JSON "
-        "(see docs/TRACING.md)",
-    )
-    add_stats_args(parser)
-    add_critpath_args(parser)
-    add_profile_args(parser)
     return parser
 
 
@@ -99,10 +77,10 @@ def run_workload(
     stats_base: Optional[str] = None,
     critpath_base: Optional[str] = None,
 ) -> dict:
-    env = _make_env(args)
+    env = make_env_from_args(args)
     tracer = install_tracer(env) if (trace_path or critpath_base) else None
     edgelog = install_edgelog(env) if critpath_base else None
-    sampler = _install_stats(env, args)
+    sampler = install_stats_if_requested(env, args)
     system = _build_system(env, args)
     workload = YCSBWorkload(
         name, args.records, value_size=args.value_size, seed=args.seed
@@ -118,7 +96,7 @@ def run_workload(
     t0 = env.sim.now
     metrics = run_closed_loop(env, system, streams)
     window = (t0, t0 + metrics.elapsed)
-    _check_sanitizer(env)
+    check_sanitizer(env)
     result = {
         "workload": name,
         "system": system.name,
@@ -132,7 +110,7 @@ def run_workload(
     if tracer is not None:
         if trace_path:
             extras, flows = (
-                _critpath_trace_extras(edgelog, tracer, window)
+                critpath_trace_extras(edgelog, tracer, window)
                 if edgelog is not None
                 else ((), ())
             )
@@ -143,9 +121,9 @@ def run_workload(
         if attribution is not None:
             result["latency_attribution"] = attribution
     if edgelog is not None:
-        _export_critpath(edgelog, tracer, window, critpath_base, result)
+        export_critpath(edgelog, tracer, window, critpath_base, result)
     if sampler is not None:
-        _export_stats(env, sampler, stats_base or "stats", result)
+        export_stats(env, sampler, stats_base or "stats", result)
     return result
 
 
@@ -156,24 +134,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in WORKLOAD_NAMES:
             print("unknown workload %r" % name, file=sys.stderr)
             return 2
-    profiler = _start_profile(args)
+    profiler = start_profile(args)
     results = [
         run_workload(
             name,
             args,
-            _trace_path(args.trace_out, name, len(names) > 1)
+            trace_path(args.trace_out, name, len(names) > 1)
             if args.trace_out
             else None,
-            _trace_path(args.stats_out, name, len(names) > 1)
+            trace_path(args.stats_out, name, len(names) > 1)
             if args.stats
             else None,
-            _trace_path(args.critpath_out, name, len(names) > 1)
+            trace_path(args.critpath_out, name, len(names) > 1)
             if args.critpath
             else None,
         )
         for name in names
     ]
-    _finish_profile(args, profiler)
+    finish_profile(args, profiler)
     rows = [
         [
             r["workload"],

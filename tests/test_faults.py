@@ -22,7 +22,7 @@ from repro.faults import (
 from repro.faults.retry import retry_io
 from repro.sim import OPTANE_905P, Simulator, StorageDevice
 from repro.storage.vfs import DiskImage
-from repro.systems import open_system, system_names
+from repro.systems import describe_options, open_system, system_names
 from repro.tools.faultbench import SCENARIOS, run_scenario
 from tests.conftest import run_process
 
@@ -424,7 +424,9 @@ class TestStatusAPI:
                                       "wiredtiger"])
     def test_open_system_round_trips_ops(self, name):
         env = make_env(n_cores=8)
-        system = open_system(name, env, workers=2)
+        # open_system is strict: only pass workers where it is declared.
+        opts = {"workers": 2} if "workers" in describe_options(name) else {}
+        system = open_system(name, env, **opts)
         ctx = env.cpu.new_thread("u")
 
         def work():

@@ -219,3 +219,137 @@ class TestYcsbCli:
         assert any(v > 0 for v in _csv_column(csv, "cpu.busy_cores"))
         out = capsys.readouterr().out
         assert "stall/utilization timeline" in out
+
+
+class TestStrictSystemOptions:
+    """open_system rejects undeclared options instead of ignoring them."""
+
+    def test_unknown_option_raises_with_did_you_mean(self):
+        from repro.engine import make_env
+        from repro.systems import open_system
+
+        env = make_env(n_cores=4)
+        with pytest.raises(ValueError) as exc:
+            open_system("p2kvs", env, asycn_window=256)
+        msg = str(exc.value)
+        assert "asycn_window" in msg
+        assert "did you mean 'async_window'" in msg
+
+    def test_unknown_option_without_close_match_lists_surface(self):
+        from repro.engine import make_env
+        from repro.systems import open_system
+
+        env = make_env(n_cores=4)
+        with pytest.raises(ValueError) as exc:
+            open_system("rocksdb", env, workers=2)
+        assert "no options" in str(exc.value)
+
+    def test_describe_options_reflects_opener_signatures(self):
+        from repro.systems import describe_options, system_names
+
+        assert describe_options("rocksdb") == {}
+        p2 = describe_options("p2kvs")
+        assert p2["workers"] == 8 and p2["async_window"] == 0
+        assert "sync_wal" in p2 and "instance" in p2
+        for name in system_names():
+            describe_options(name)  # never raises for a registered system
+        with pytest.raises(ValueError):
+            describe_options("nosuchsystem")
+
+    def test_register_rejects_kwargs_catch_all(self):
+        from repro.systems import SYSTEM_REGISTRY, register_system
+
+        with pytest.raises(TypeError):
+            @register_system("bad-system")
+            def _open_bad(env, **_ignored):
+                raise AssertionError("never opened")
+        assert "bad-system" not in SYSTEM_REGISTRY
+
+    def test_dbbench_filters_flags_per_system(self, capsys):
+        # The CLI exposes workers/obm/async-window for every system; the
+        # strict registry means dbbench must filter them, so a system
+        # without those options still runs.
+        rc = dbbench.main(
+            small_db_args(
+                ["--benchmarks", "fillrandom", "--system", "wiredtiger",
+                 "--async-window", "64"]
+            )
+        )
+        assert rc == 0
+
+    def test_help_epilog_lists_per_system_options(self):
+        epilog = dbbench.build_parser().epilog
+        assert "p2kvs" in epilog and "async_window" in epilog
+        assert ycsb.build_parser().epilog == epilog
+
+
+class TestSharedFlagGroup:
+    """The six CLIs share one argparse parent: same spelling everywhere."""
+
+    SHARED = {
+        "dbbench": ("trace_out", "stats", "stats_interval_ms", "stats_out",
+                    "critpath", "critpath_out", "sanitize", "profile",
+                    "profile_out", "schedule_seed"),
+        "ycsb": ("trace_out", "stats", "stats_interval_ms", "stats_out",
+                 "critpath", "critpath_out", "sanitize", "profile",
+                 "profile_out", "schedule_seed"),
+        "serve": ("trace_out", "stats", "critpath", "sanitize", "profile",
+                  "schedule_seed", "monitor", "monitor_window_ms",
+                  "monitor_out"),
+        "monitor": ("sanitize", "profile", "profile_out", "schedule_seed"),
+        "faultbench": ("profile", "profile_out"),
+        "profile": ("schedule_seed",),
+    }
+
+    def _parser(self, tool):
+        import importlib
+
+        return importlib.import_module("repro.tools.%s" % tool).build_parser()
+
+    @pytest.mark.parametrize("tool", sorted(SHARED))
+    def test_tool_carries_its_shared_flags(self, tool):
+        args = self._parser(tool).parse_args([])
+        for dest in self.SHARED[tool]:
+            assert hasattr(args, dest), (tool, dest)
+
+    def test_flag_defaults_agree_across_tools(self):
+        # Any flag present in two tools must parse to the same default —
+        # the drift the shared parent exists to prevent.
+        defaults = {}
+        for tool in self.SHARED:
+            args = vars(self._parser(tool).parse_args([]))
+            for dest in self.SHARED[tool]:
+                if dest in defaults:
+                    assert defaults[dest][1] == args[dest], (
+                        "default for --%s drifted between %s and %s"
+                        % (dest, defaults[dest][0], tool)
+                    )
+                else:
+                    defaults[dest] = (tool, args[dest])
+
+    def test_parent_families_opt_out(self):
+        from repro.tools.common import observability_parent
+
+        thin = observability_parent(
+            trace=False, stats=False, critpath=False, profile=False,
+            sanitize=False,
+        )
+        args = thin.parse_args([])
+        assert hasattr(args, "schedule_seed")
+        assert not hasattr(args, "stats")
+        assert not hasattr(args, "profile")
+
+    def test_faultbench_profile_does_not_change_report(self, tmp_path, capsys):
+        from repro.tools import faultbench
+
+        out1, out2 = tmp_path / "a.json", tmp_path / "b.json"
+        rc1 = faultbench.main(
+            ["--scenario", "engine-nvme-transient", "--out", str(out1)]
+        )
+        rc2 = faultbench.main(
+            ["--scenario", "engine-nvme-transient", "--profile",
+             "--out", str(out2)]
+        )
+        capsys.readouterr()
+        assert rc1 == rc2 == 0
+        assert out1.read_text() == out2.read_text()
